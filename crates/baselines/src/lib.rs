@@ -1,0 +1,20 @@
+//! Baseline membership protocols the paper compares against or proves
+//! insufficient (§7.2, §7.3, §8).
+//!
+//! | baseline | paper artifact | what it shows |
+//! |----------|----------------|---------------|
+//! | [`one_phase`] | Claim 7.1 | one-phase updates violate GMP-3 when the coordinator can fail |
+//! | two-phase reconfiguration (`gmp_core::Config::with_two_phase_reconfig`) | Claim 7.2 / Fig. 11 | without a proposal phase, invisible commits are undetectable |
+//! | [`symmetric`] | Bruso [5] comparison | symmetric protocols cost an order of magnitude more messages |
+//!
+//! The [`scenarios`] module builds the deterministic adversarial schedules
+//! from the proofs; the uncompressed two-phase update baseline for §7.2 is
+//! `gmp_core::Config::without_compression`.
+
+pub mod one_phase;
+pub mod scenarios;
+pub mod symmetric;
+
+pub use one_phase::{OneMsg, OnePhaseMember};
+pub use scenarios::{claim_7_1_run, figure_11_run, Fig11Cast, FIG11_CAST};
+pub use symmetric::{SymMsg, SymmetricMember};

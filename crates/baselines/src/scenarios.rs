@@ -1,0 +1,154 @@
+//! Executable versions of the paper's lower-bound counterexamples
+//! (§7.3, Figures 4 and 11).
+//!
+//! Each function builds a deterministic adversarial schedule and runs it,
+//! returning the finished simulator so callers (tests, the `tables`
+//! harness) can inspect views and check GMP properties.
+
+use crate::one_phase::{OneMsg, OnePhaseMember};
+use gmp_core::{Config, Member, Msg};
+use gmp_sim::{BlockMode, Builder, Sim};
+use gmp_types::{ProcessId, View};
+
+/// Claim 7.1: a one-phase update algorithm violates GMP-3 when the
+/// coordinator can fail.
+///
+/// The proof's run: partition `Proc` into `S ∋ Mgr` and `R ∋ r`; each side
+/// suspects the other, and each side's coordinator unilaterally commits the
+/// other's removal — producing two different views numbered 1.
+pub fn claim_7_1_run(seed: u64) -> Sim<OneMsg, OnePhaseMember> {
+    let n = 6u32;
+    let view: View = (0..n).map(ProcessId).collect();
+    let mut sim = Builder::new().seed(seed).build();
+    for _ in 0..n {
+        sim.add_node(OnePhaseMember::new(view.clone(), 40, 200));
+    }
+    // S = {Mgr=0, 3, 4}, R = {r=1, 2, 5}.
+    let s: Vec<ProcessId> = [0u32, 3, 4].map(ProcessId).to_vec();
+    let r: Vec<ProcessId> = [1u32, 2, 5].map(ProcessId).to_vec();
+    sim.partition_at(&[&s, &r], 50);
+    sim.run_until(10_000);
+    sim
+}
+
+/// The seniority layout of the Figure 11 run (see [`figure_11_run`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig11Cast {
+    /// The initial coordinator, mid-exclusion when it dies.
+    pub mgr: ProcessId,
+    /// First reconfigurer; commits invisibly and crashes.
+    pub p: ProcessId,
+    /// Sole witness of `p`'s commit; partitioned away afterwards.
+    pub w: ProcessId,
+    /// Second reconfigurer; must decide which proposal was committed.
+    pub r: ProcessId,
+    /// The process `Mgr` was trying to exclude.
+    pub z: ProcessId,
+    /// The only process that saw `Mgr`'s invitation.
+    pub q: ProcessId,
+}
+
+/// The cast used by [`figure_11_run`].
+pub const FIG11_CAST: Fig11Cast = Fig11Cast {
+    mgr: ProcessId(0),
+    p: ProcessId(1),
+    w: ProcessId(2),
+    r: ProcessId(3),
+    z: ProcessId(4),
+    q: ProcessId(5),
+};
+
+/// Figure 11 / Claim 7.2: the schedule under which a *two-phase*
+/// reconfiguration cannot identify the invisibly committed proposal, while
+/// the three-phase algorithm can.
+///
+/// Cast (seniority order; see [`FIG11_CAST`]): `Mgr` starts excluding `z`
+/// but its invitation reaches only `q` before `Mgr` dies. Reconfigurer `p`
+/// — ignorant of `Mgr`'s plan because its link to `q` is severed — proposes
+/// `remove(Mgr)` instead, commits it *invisibly* (the commit reaches only
+/// `w`), and crashes; `w` is then partitioned away. Reconfigurer `r` now
+/// finds `Mgr`'s proposal among its Phase I responses:
+///
+/// * **three-phase** (`three_phase = true`): `p`'s *proposal phase* planted
+///   `(remove(Mgr) : p : 1)` in the survivors' `next` lists, so `GetStable`
+///   selects the junior proposer's plan and `r` stays consistent with `w`;
+/// * **two-phase** (`three_phase = false`): no proposal phase ran, so the
+///   only detectable plan is `Mgr`'s, `r` commits `remove(z)` as version 1,
+///   and the run violates GMP-2/GMP-3 (`w` installed a different view 1).
+pub fn figure_11_run(three_phase: bool, seed: u64) -> Sim<Msg, Member> {
+    let n = 9u32; // [Mgr, p, w, r, z, q, u, v, x]
+    let cast = FIG11_CAST;
+    // Heartbeat gossip is disabled so suspicions travel only inside
+    // protocol messages, as in the paper's figures — otherwise the scripted
+    // link failures leak through piggybacked faulty sets and the schedule
+    // collapses into ordinary (correct) operation.
+    let mut cfg = Config::default().without_gossip();
+    if !three_phase {
+        cfg = cfg.with_two_phase_reconfig();
+    }
+    let view: View = (0..n).map(ProcessId).collect();
+    let mut sim = Builder::new().seed(seed).build();
+    for _ in 0..n {
+        sim.add_node(Member::new(cfg.clone(), view.clone()));
+    }
+    // Mgr's outbound traffic reaches only q: its exclusion of z stays
+    // invisible to everyone else.
+    for i in [1u32, 2, 3, 4, 6, 7, 8] {
+        sim.block_link_at(cast.mgr, ProcessId(i), BlockMode::Drop, 0);
+    }
+    // p and q cannot talk: p never learns Mgr's plan, and eventually
+    // suspects q by silence.
+    sim.block_link_at(cast.p, cast.q, BlockMode::Drop, 0);
+    sim.block_link_at(cast.q, cast.p, BlockMode::Drop, 0);
+    // p's reconfiguration commit dies after a single send. The commit is
+    // broadcast to the *post-removal* view (Fig. 5 applies `RL_r` before
+    // the broadcast), whose first member is w — so w alone witnesses it:
+    // the invisible commit.
+    sim.crash_after_sends_at(cast.p, 0, Some("reconf-commit"), 1);
+    // Mgr perceives z as faulty (spurious detection) and starts excluding
+    // it; Mgr crashes before anyone but q hears of it.
+    sim.node_mut(cast.mgr).inject_suspicion(cast.z);
+    sim.crash_at(cast.mgr, 300);
+    // After witnessing p's commit, w is partitioned away.
+    let rest: Vec<ProcessId> =
+        (0..n).map(ProcessId).filter(|&pid| pid != cast.w).collect();
+    sim.partition_at(&[&[cast.w], &rest], 400);
+    sim.run_until(30_000);
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmp_props::{analyze, checks};
+
+    #[test]
+    fn claim_7_1_one_phase_diverges() {
+        let sim = claim_7_1_run(7);
+        let a = analyze(sim.trace());
+        let gmp2 = checks::check_gmp2(&a);
+        assert!(
+            !gmp2.is_empty(),
+            "the one-phase protocol must produce conflicting views under partition"
+        );
+        // Both sides progressed: version 1 exists with two memberships.
+        assert!(gmp2.iter().any(|v| matches!(v, gmp_props::Violation::Gmp2 { ver: 1, .. })));
+    }
+
+    #[test]
+    fn figure_11_two_phase_violates_gmp() {
+        let sim = figure_11_run(false, 7);
+        let a = analyze(sim.trace());
+        let gmp2 = checks::check_gmp2(&a);
+        assert!(
+            !gmp2.is_empty(),
+            "two-phase reconfiguration must mis-guess the invisible commit"
+        );
+    }
+
+    #[test]
+    fn figure_11_three_phase_stays_consistent() {
+        let sim = figure_11_run(true, 7);
+        checks::check_safety(sim.trace()).assert_ok();
+    }
+}

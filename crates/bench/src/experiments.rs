@@ -1,0 +1,725 @@
+//! Workloads regenerating the paper's analytic results (§7.2–§7.3,
+//! Table 1, Figures 1/3/4/11, Appendix).
+//!
+//! Counting convention (see `EXPERIMENTS.md`): only update/reconfiguration
+//! protocol messages count (`gmp_core::PROTOCOL_TAGS`); a broadcast counts
+//! one message per receiver; heartbeats, suspicion reports, join requests
+//! and state transfer are excluded. The paper's constants assume the same
+//! convention up to O(1) differences in whether known-faulty members are
+//! still addressed.
+
+use gmp_baselines::{SymmetricMember, SymMsg};
+use gmp_core::{cluster_with, is_protocol_tag, ClusterBuilder, Config, JoinConfig, Member, Msg};
+use gmp_props::{analyze, check_all, check_safety, knowledge_ladder, render_ladder};
+use gmp_sim::{Builder, Sim, Stats, TraceKind};
+use gmp_types::{Note, ProcessId, View};
+
+/// Total protocol messages sent in a run (§7.2 counting convention).
+pub fn protocol_messages(stats: &Stats) -> u64 {
+    stats.sends_matching(is_protocol_tag)
+}
+
+// ---------------------------------------------------------------------
+// E1 — single exclusion: ≤ 3n − 5 messages (§7.2 "best case", plain
+// two-phase update)
+// ---------------------------------------------------------------------
+
+/// One row of the E1 table.
+#[derive(Clone, Debug)]
+pub struct ExclusionRow {
+    /// Group size.
+    pub n: usize,
+    /// Protocol messages measured for one exclusion.
+    pub measured: u64,
+    /// The paper's bound `3n − 5`.
+    pub formula: u64,
+}
+
+/// Measures the message cost of excluding one crashed member at each group
+/// size.
+pub fn e1_exclusion(ns: &[usize], seed: u64) -> Vec<ExclusionRow> {
+    ns.iter()
+        .map(|&n| {
+            let mut sim = cluster_with(n, seed + n as u64, Config::default());
+            sim.crash_at(ProcessId(n as u32 - 1), 300);
+            sim.run_until(8_000);
+            ExclusionRow {
+                n,
+                measured: protocol_messages(sim.stats()),
+                formula: (3 * n - 5) as u64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E2 — condensed rounds: successive failures amortize the invitation
+// (§3.1, §7.2: standard two-phase pays ~n/2−1 extra messages/exclusion)
+// ---------------------------------------------------------------------
+
+/// One row of the E2 table.
+#[derive(Clone, Debug)]
+pub struct CondensedRow {
+    /// Group size.
+    pub n: usize,
+    /// Number of members crashed (in one burst).
+    pub victims: usize,
+    /// Total protocol messages with condensed rounds.
+    pub compressed: u64,
+    /// Total protocol messages with the standard two-phase algorithm.
+    pub standard: u64,
+    /// Measured savings per exclusion.
+    pub saved_per_exclusion: f64,
+}
+
+/// Crashes a burst of members so the coordinator's queue stays non-empty
+/// and successive rounds compress; compares against the uncompressed
+/// algorithm on the identical schedule.
+///
+/// The paper's scenario assumes `Mgr` cannot fail here (§3.1 basic
+/// algorithm), so the majority requirement is disabled for both runs.
+pub fn e2_condensed(ns: &[usize], seed: u64) -> Vec<CondensedRow> {
+    ns.iter()
+        .map(|&n| {
+            let victims = n / 2;
+            let run = |compression: bool| -> u64 {
+                let mut cfg = Config::default().without_mgr_majority();
+                if !compression {
+                    cfg = cfg.without_compression();
+                }
+                let mut sim = cluster_with(n, seed + n as u64, cfg);
+                // Crash the junior half in one burst: all their exclusions
+                // are pending at once, which is when compression matters.
+                for k in 0..victims {
+                    sim.crash_at(ProcessId((n - 1 - k) as u32), 300 + k as u64);
+                }
+                sim.run_until(20_000);
+                protocol_messages(sim.stats())
+            };
+            let compressed = run(true);
+            let standard = run(false);
+            CondensedRow {
+                n,
+                victims,
+                compressed,
+                standard,
+                saved_per_exclusion: (standard as f64 - compressed as f64) / victims as f64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E3 — one successful reconfiguration: ≤ 5n − 9 messages (§7.2)
+// ---------------------------------------------------------------------
+
+/// One row of the E3 table.
+#[derive(Clone, Debug)]
+pub struct ReconfRow {
+    /// Group size.
+    pub n: usize,
+    /// Protocol messages measured for the coordinator's replacement.
+    pub measured: u64,
+    /// The paper's bound `5n − 9`.
+    pub formula: u64,
+}
+
+/// Measures the cost of replacing a crashed coordinator at each group size.
+pub fn e3_reconfiguration(ns: &[usize], seed: u64) -> Vec<ReconfRow> {
+    ns.iter()
+        .map(|&n| {
+            let mut sim = cluster_with(n, seed + n as u64, Config::default());
+            sim.crash_at(ProcessId(0), 300);
+            sim.run_until(10_000);
+            ReconfRow {
+                n,
+                measured: protocol_messages(sim.stats()),
+                formula: (5 * n - 9) as u64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E4 — worst case: successive failed reconfigurations cost O(n²) (§7.2)
+// ---------------------------------------------------------------------
+
+/// One row of the E4 table.
+#[derive(Clone, Debug)]
+pub struct WorstCaseRow {
+    /// Group size.
+    pub n: usize,
+    /// Initiators that died mid-reconfiguration before one succeeded.
+    pub failed_initiators: usize,
+    /// Total protocol messages until the view stabilized.
+    pub measured: u64,
+    /// `measured / n²` — flat across `n` iff the cost is quadratic.
+    pub per_n_squared: f64,
+}
+
+/// Crashes the coordinator and then each successive reconfigurer one
+/// commit-send into its commit broadcast, until the last legal initiator
+/// (bounded by the minority-failure requirement) completes.
+pub fn e4_worst_case(ns: &[usize], seed: u64) -> Vec<WorstCaseRow> {
+    ns.iter()
+        .map(|&n| {
+            assert!(n >= 7, "worst-case cascade needs n >= 7");
+            let f = (n - 1) / 2 - 1; // initiators that may die while a majority remains
+            let mut sim = cluster_with(n, seed + n as u64, Config::default());
+            sim.crash_at(ProcessId(0), 300);
+            for k in 1..=f {
+                // Each initiator dies right after its first commit send —
+                // a (potentially invisible) partial commit every round.
+                sim.crash_after_sends_at(ProcessId(k as u32), 0, Some("reconf-commit"), 1);
+            }
+            sim.run_until(60_000);
+            WorstCaseRow {
+                n,
+                failed_initiators: f,
+                measured: protocol_messages(sim.stats()),
+                per_n_squared: protocol_messages(sim.stats()) as f64 / (n * n) as f64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E5 — symmetric baseline: an order of magnitude more messages (§1, §8)
+// ---------------------------------------------------------------------
+
+/// One row of the E5 table.
+#[derive(Clone, Debug)]
+pub struct SymmetricRow {
+    /// Group size.
+    pub n: usize,
+    /// Messages the symmetric protocol spends on one exclusion.
+    pub symmetric: u64,
+    /// Messages the paper's asymmetric protocol spends.
+    pub asymmetric: u64,
+    /// Cost ratio.
+    pub ratio: f64,
+}
+
+/// Compares one exclusion under the symmetric all-to-all protocol against
+/// the asymmetric algorithm.
+pub fn e5_symmetric(ns: &[usize], seed: u64) -> Vec<SymmetricRow> {
+    ns.iter()
+        .map(|&n| {
+            let view: View = (0..n as u32).map(ProcessId).collect();
+            let mut sym: Sim<SymMsg, SymmetricMember> =
+                Builder::new().seed(seed + n as u64).build();
+            for _ in 0..n {
+                sym.add_node(SymmetricMember::new(view.clone(), 40, 200));
+            }
+            sym.crash_at(ProcessId(n as u32 - 1), 300);
+            sym.run_until(10_000);
+            let symmetric = sym.stats().sends("suspect") + sym.stats().sends("ready");
+
+            let asymmetric = e1_exclusion(&[n], seed)[0].measured;
+            SymmetricRow { n, symmetric, asymmetric, ratio: symmetric as f64 / asymmetric as f64 }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E6 — fully online operation: a continuous stream of joins and failures
+// (§1, §7, §8)
+// ---------------------------------------------------------------------
+
+/// Result of the churn experiment.
+#[derive(Clone, Debug)]
+pub struct ChurnOutcome {
+    /// Initial group size.
+    pub n: usize,
+    /// Joins processed.
+    pub joins: usize,
+    /// Failures processed.
+    pub crashes: usize,
+    /// Membership changes committed (= final version).
+    pub changes_committed: u64,
+    /// Protocol messages spent in total.
+    pub protocol_messages: u64,
+    /// Whether the full GMP specification held on the run.
+    pub gmp_ok: bool,
+}
+
+/// Runs a stream of interleaved joins and crashes and checks that every
+/// change commits and the specification holds end to end.
+pub fn e6_churn(seed: u64) -> ChurnOutcome {
+    let n = 6;
+    let joins = 3;
+    let mut builder = ClusterBuilder::new(n, Config::default());
+    for j in 0..joins {
+        builder = builder.joiner(JoinConfig::new(800 + 900 * j as u64, vec![ProcessId(1)]));
+    }
+    let mut sim = builder.sim(Builder::new().seed(seed)).build();
+    // Two failures interleaved with the joins.
+    sim.crash_at(ProcessId(4), 1_300);
+    sim.crash_at(ProcessId(5), 2_700);
+    sim.run_until(15_000);
+    let report = check_all(sim.trace());
+    let a = analyze(sim.trace());
+    ChurnOutcome {
+        n,
+        joins,
+        crashes: 2,
+        changes_committed: a.final_system_view().map(|v| v.ver).unwrap_or(0),
+        protocol_messages: protocol_messages(sim.stats()),
+        gmp_ok: report.is_ok(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// E7 — fault tolerance bounds (§3.1 Remarks, §4.3)
+// ---------------------------------------------------------------------
+
+/// One row of the fault-tolerance table.
+#[derive(Clone, Debug)]
+pub struct ToleranceRow {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Group size.
+    pub n: usize,
+    /// Members crashed.
+    pub crashed: usize,
+    /// Views committed after the failures.
+    pub views_committed: u64,
+    /// Whether the surviving members converged on a view excluding the
+    /// crashed ones.
+    pub recovered: bool,
+}
+
+/// Exercises the tolerance bounds: `|Memb|−1` failures under the basic
+/// algorithm (`Mgr` immortal), a minority under the final algorithm, and a
+/// majority (which must block).
+pub fn e7_tolerance(seed: u64) -> Vec<ToleranceRow> {
+    let mut rows = Vec::new();
+
+    // Basic algorithm (no Mgr majority): n−1 failures tolerated.
+    {
+        let n = 5;
+        let mut sim = cluster_with(n, seed, Config::default().without_mgr_majority());
+        for k in 1..n {
+            sim.crash_at(ProcessId(k as u32), 300 + 400 * k as u64);
+        }
+        sim.run_until(30_000);
+        let m = sim.node(ProcessId(0));
+        rows.push(ToleranceRow {
+            scenario: "basic, n-1 failures",
+            n,
+            crashed: n - 1,
+            views_committed: m.ver(),
+            recovered: m.view().len() == 1,
+        });
+    }
+
+    // Final algorithm: minority of failures between views — progress.
+    {
+        let n = 7;
+        let mut sim = cluster_with(n, seed + 1, Config::default());
+        sim.crash_at(ProcessId(5), 300);
+        sim.crash_at(ProcessId(6), 320);
+        sim.run_until(15_000);
+        let a = analyze(sim.trace());
+        let fv = a.final_system_view().expect("views exist");
+        rows.push(ToleranceRow {
+            scenario: "final, minority (2/7)",
+            n,
+            crashed: 2,
+            views_committed: fv.ver,
+            recovered: fv.ver == 2 && fv.members.len() == 5,
+        });
+    }
+
+    // Final algorithm: majority of simultaneous failures — no progress.
+    {
+        let n = 7;
+        let mut sim = cluster_with(n, seed + 2, Config::default());
+        for k in 3..7 {
+            sim.crash_at(ProcessId(k as u32), 300);
+        }
+        sim.run_until(15_000);
+        let a = analyze(sim.trace());
+        let committed = a.final_system_view().map(|v| v.ver).unwrap_or(0);
+        rows.push(ToleranceRow {
+            scenario: "final, majority (4/7)",
+            n,
+            crashed: 4,
+            views_committed: committed,
+            recovered: committed == 0, // "recovered" here = correctly blocked
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// T1 — Table 1: multiple reconfiguration initiations
+// ---------------------------------------------------------------------
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// `p`'s actual state (the paper's first column).
+    pub p_actual: &'static str,
+    /// What `q` believes about `p`.
+    pub q_thinks_p: &'static str,
+    /// The paper's expected outcome for `q`.
+    pub expect_q: &'static str,
+    /// The paper's expected outcome for `p`.
+    pub expect_p: &'static str,
+    /// Whether `q` initiated in the measured run.
+    pub q_initiated: bool,
+    /// Whether `p` initiated in the measured run.
+    pub p_initiated: bool,
+}
+
+/// Reproduces Table 1: `Mgr` is dead; `p` (ranked below `Mgr`) and `q`
+/// (ranked below `p`) react according to `p`'s actual state and `q`'s
+/// belief about it.
+pub fn t1_initiations(seed: u64) -> Vec<Table1Row> {
+    let p = ProcessId(1);
+    let q = ProcessId(2);
+    let scenarios: [(&'static str, &'static str, &'static str, &'static str, bool, bool); 4] = [
+        // (p actual, q thinks p, expected q, expected p, crash_p, inject_q)
+        ("Up", "Up", "No", "Yes", false, false),
+        ("Failed", "Up", "Eventually", "No", true, false),
+        ("Up", "Failed", "Yes", "Yes", false, true),
+        ("Failed", "Failed", "Yes", "No", true, true),
+    ];
+    scenarios
+        .iter()
+        .map(|&(p_actual, q_thinks, expect_q, expect_p, crash_p, inject_q)| {
+            let mut sim = cluster_with(5, seed, Config::default());
+            sim.crash_at(ProcessId(0), 300);
+            if crash_p {
+                sim.crash_at(p, 310);
+            }
+            if inject_q {
+                // The table's premise is that Mgr is already perceived
+                // faulty when q's belief about p matters: inject the
+                // (spurious) suspicion right around everyone's detection
+                // of Mgr's crash. Injected earlier, the still-live Mgr
+                // would simply exclude p through the normal update path.
+                sim.run_until(510);
+                sim.node_mut(q).inject_suspicion(p);
+            }
+            sim.run_until(10_000);
+            let initiated = |pid: ProcessId| {
+                sim.trace().notes().any(|(ev, note)| {
+                    ev.pid == pid && matches!(note, Note::ReconfStarted { .. })
+                })
+            };
+            Table1Row {
+                p_actual,
+                q_thinks_p: q_thinks,
+                expect_q,
+                expect_p,
+                q_initiated: initiated(q),
+                p_initiated: initiated(p),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// F1 / F3 / F4 — protocol-structure figures as message timelines
+// ---------------------------------------------------------------------
+
+/// Figure 1: the two-phase update structure, rendered as the message
+/// timeline of a single exclusion.
+pub fn f1_two_phase_timeline(seed: u64) -> String {
+    let mut sim = cluster_with(5, seed, Config::default());
+    sim.crash_at(ProcessId(4), 300);
+    sim.run_until(5_000);
+    sim.trace().render(|e| match &e.kind {
+        TraceKind::Send { tag, .. } => is_protocol_tag(tag),
+        TraceKind::Crash => true,
+        TraceKind::Note(Note::ViewInstalled { .. }) => true,
+        _ => false,
+    })
+}
+
+/// Figure 3 demonstration: `Mgr` dies one send into its commit broadcast;
+/// the system view transiently fails to exist, then reconfiguration
+/// restores it. Returns (timeline, gmp_report_ok).
+pub fn f3_mid_commit_crash(seed: u64) -> (String, bool) {
+    let mut sim = cluster_with(5, seed, Config::default());
+    sim.crash_at(ProcessId(4), 300);
+    sim.crash_after_sends_at(ProcessId(0), 0, Some("commit"), 1);
+    sim.run_until(20_000);
+    let timeline = sim.trace().render(|e| match &e.kind {
+        TraceKind::Send { tag, .. } => *tag == "commit" || *tag == "reconf-commit",
+        TraceKind::Crash | TraceKind::Quit => true,
+        TraceKind::Note(Note::ViewInstalled { .. }) => true,
+        TraceKind::Note(Note::ReconfStarted { .. }) => true,
+        _ => false,
+    });
+    (timeline, check_safety(sim.trace()).is_ok())
+}
+
+/// Figure 4 demonstration: two concurrent initiators; the majority
+/// requirement keeps the resulting system view *unique* (GMP-2) even when
+/// more than one initiator manages to commit — their proposals are forced
+/// to coincide. Returns (initiations, distinct memberships of version 1,
+/// gmp_safety_ok).
+pub fn f4_unique_view(seed: u64) -> (usize, usize, bool) {
+    let mut sim = cluster_with(5, seed, Config::default());
+    sim.crash_at(ProcessId(0), 300);
+    // q spuriously believes p faulty once Mgr's death is suspected: both
+    // initiate (Table 1, row 3).
+    sim.run_until(510);
+    sim.node_mut(ProcessId(2)).inject_suspicion(ProcessId(1));
+    sim.run_until(15_000);
+    let initiations = sim
+        .trace()
+        .notes()
+        .filter(|(_, n)| matches!(n, Note::ReconfStarted { .. }))
+        .count();
+    let a = analyze(sim.trace());
+    let mut memberships: Vec<Vec<ProcessId>> =
+        a.memberships_of_ver(1).into_iter().map(|v| v.members.clone()).collect();
+    memberships.sort();
+    memberships.dedup();
+    let safety = check_safety(sim.trace()).is_ok();
+    (initiations, memberships.len(), safety)
+}
+
+// ---------------------------------------------------------------------
+// A1 — epistemic ladder (Appendix)
+// ---------------------------------------------------------------------
+
+/// Renders the knowledge-ladder table over a quiescent multi-change run.
+pub fn a1_epistemic_ladder(seed: u64) -> String {
+    let mut sim = cluster_with(6, seed, Config::default());
+    sim.crash_at(ProcessId(5), 300);
+    sim.crash_at(ProcessId(4), 1_500);
+    sim.crash_at(ProcessId(3), 3_000);
+    sim.run_until(15_000);
+    let rows = knowledge_ladder(sim.trace());
+    render_ladder(&rows)
+}
+
+// ---------------------------------------------------------------------
+// AB1 — ablation: heartbeat gossip (F2) on/off
+// ---------------------------------------------------------------------
+
+/// One row of the gossip ablation.
+#[derive(Clone, Debug)]
+pub struct GossipRow {
+    /// Whether heartbeat gossip was enabled.
+    pub gossip: bool,
+    /// `FaultyReport` messages sent (duplicated observations).
+    pub reports: u64,
+    /// Simulated time at which the last view was installed.
+    pub settled_at: u64,
+    /// Whether the full specification held.
+    pub gmp_ok: bool,
+}
+
+/// Measures what F2 gossip buys: with suspicions piggybacked on
+/// heartbeats, beliefs spread without extra reports and multi-failure
+/// bursts settle sooner.
+pub fn ab1_gossip(seed: u64) -> Vec<GossipRow> {
+    [true, false]
+        .into_iter()
+        .map(|gossip| {
+            let mut cfg = Config::default();
+            if !gossip {
+                cfg = cfg.without_gossip();
+            }
+            let mut sim = cluster_with(8, seed, cfg);
+            sim.crash_at(ProcessId(6), 400);
+            sim.crash_at(ProcessId(7), 410);
+            sim.run_until(20_000);
+            let settled_at = sim
+                .trace()
+                .notes()
+                .filter(|(_, n)| matches!(n, Note::ViewInstalled { .. }))
+                .map(|(e, _)| e.time)
+                .max()
+                .unwrap_or(0);
+            GossipRow {
+                gossip,
+                reports: sim.stats().sends("faulty-report"),
+                settled_at,
+                gmp_ok: check_all(sim.trace()).is_ok(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// AB2 — ablation: detection-timeout sweep (§2.2 spurious detections)
+// ---------------------------------------------------------------------
+
+/// One row of the timeout sweep.
+#[derive(Clone, Debug)]
+pub struct TimeoutRow {
+    /// The failure detector's silence threshold.
+    pub suspect_after: u64,
+    /// Time from the real crash to the last survivor installing the
+    /// exclusion (`None` if it never committed).
+    pub exclusion_latency: Option<u64>,
+    /// `faulty` events naming processes that never actually crashed.
+    pub spurious_suspicions: usize,
+    /// Whether GMP *safety* held (it must, at any timeout).
+    pub safe: bool,
+}
+
+/// Sweeps the suspicion timeout: long timeouts trade detection latency for
+/// accuracy; timeouts below the heartbeat interval manufacture the
+/// spurious detections of §2.2 — which the protocol resolves through
+/// GMP-5 exclusions rather than by diverging.
+pub fn ab2_timeout_sweep(seed: u64) -> Vec<TimeoutRow> {
+    let crash_time = 500;
+    [30u64, 100, 200, 400, 800]
+        .into_iter()
+        .map(|suspect_after| {
+            let cfg = Config::default().timing(40, suspect_after);
+            let mut sim = cluster_with(6, seed, cfg);
+            sim.crash_at(ProcessId(5), crash_time);
+            sim.run_until(30_000);
+            let a = analyze(sim.trace());
+            let exclusion_latency = a
+                .views
+                .values()
+                .flat_map(|vs| vs.iter())
+                .filter(|v| !v.members.contains(&ProcessId(5)))
+                .map(|v| sim.trace().events[v.event].time)
+                .max()
+                .and_then(|t| t.checked_sub(crash_time));
+            let spurious = a
+                .faulty
+                .iter()
+                .filter(|f| f.suspect != ProcessId(5))
+                .map(|f| (f.observer, f.suspect))
+                .collect::<std::collections::BTreeSet<_>>()
+                .len();
+            TimeoutRow {
+                suspect_after,
+                exclusion_latency,
+                spurious_suspicions: spurious,
+                safe: check_safety(sim.trace()).is_ok(),
+            }
+        })
+        .collect()
+}
+
+/// Convenience: a standard exclusion run for the Criterion benchmarks.
+pub fn bench_exclusion_run(n: usize, seed: u64) -> Sim<Msg, Member> {
+    let mut sim = cluster_with(n, seed, Config::default());
+    sim.crash_at(ProcessId(n as u32 - 1), 300);
+    sim.run_until(8_000);
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_matches_formula_exactly() {
+        for row in e1_exclusion(&[4, 5, 8, 12], 100) {
+            assert_eq!(
+                row.measured, row.formula,
+                "n={}: expected 3n-5={}, measured {}",
+                row.n, row.formula, row.measured
+            );
+        }
+    }
+
+    #[test]
+    fn e3_matches_formula_shape() {
+        for row in e3_reconfiguration(&[5, 8, 12], 200) {
+            let delta = row.measured as i64 - row.formula as i64;
+            assert!(
+                delta.abs() <= row.n as i64,
+                "n={}: measured {} too far from 5n-9={}",
+                row.n,
+                row.measured,
+                row.formula
+            );
+        }
+    }
+
+    #[test]
+    fn e2_compression_saves_messages() {
+        for row in e2_condensed(&[8, 12], 300) {
+            assert!(
+                row.compressed < row.standard,
+                "n={}: compressed {} !< standard {}",
+                row.n,
+                row.compressed,
+                row.standard
+            );
+        }
+    }
+
+    #[test]
+    fn e5_symmetric_is_order_of_magnitude_costlier() {
+        for row in e5_symmetric(&[16, 24], 400) {
+            assert!(
+                row.ratio > 4.0,
+                "n={}: symmetric/asymmetric ratio only {:.1}",
+                row.n,
+                row.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn e6_churn_is_online_and_correct() {
+        let out = e6_churn(500);
+        assert!(out.gmp_ok, "GMP violated under churn");
+        assert_eq!(out.changes_committed, 5, "3 joins + 2 removals must commit");
+    }
+
+    #[test]
+    fn t1_matches_paper_table() {
+        let rows = t1_initiations(600);
+        assert!(!rows[0].q_initiated && rows[0].p_initiated, "row 1: only p initiates");
+        assert!(rows[1].q_initiated && !rows[1].p_initiated, "row 2: q eventually initiates");
+        assert!(rows[2].q_initiated && rows[2].p_initiated, "row 3: both initiate");
+        assert!(rows[3].q_initiated && !rows[3].p_initiated, "row 4: only q initiates");
+    }
+
+    #[test]
+    fn ab1_gossip_reduces_reports_and_latency() {
+        let rows = ab1_gossip(800);
+        assert!(rows[0].gossip && !rows[1].gossip);
+        assert!(rows[0].gmp_ok && rows[1].gmp_ok, "correct either way");
+        assert!(
+            rows[0].reports <= rows[1].reports,
+            "gossip must not increase explicit reports: {} vs {}",
+            rows[0].reports,
+            rows[1].reports
+        );
+    }
+
+    #[test]
+    fn ab2_timeout_sweep_trades_latency_for_accuracy() {
+        let rows = ab2_timeout_sweep(900);
+        for r in &rows {
+            assert!(r.safe, "safety must hold at timeout {}", r.suspect_after);
+        }
+        // Tiny timeout: spurious suspicions appear.
+        assert!(rows[0].spurious_suspicions > 0, "timeout 30 must misfire");
+        // Sane timeouts: no spurious suspicions, latency grows with the
+        // threshold.
+        let sane: Vec<_> = rows.iter().filter(|r| r.suspect_after >= 200).collect();
+        for r in &sane {
+            assert_eq!(r.spurious_suspicions, 0, "timeout {}", r.suspect_after);
+        }
+        let l200 = sane[0].exclusion_latency.expect("exclusion commits");
+        let l800 = sane.last().unwrap().exclusion_latency.expect("exclusion commits");
+        assert!(l800 > l200, "longer timeout, later exclusion");
+    }
+
+    #[test]
+    fn f4_view_is_unique_despite_concurrent_initiators() {
+        let (initiations, distinct_v1, safety) = f4_unique_view(700);
+        assert!(initiations >= 2, "scenario must produce concurrent initiations");
+        assert_eq!(distinct_v1, 1, "GMP-2: version 1 must have a unique membership");
+        assert!(safety, "GMP safety must hold");
+    }
+}

@@ -1,0 +1,12 @@
+//! Benchmark harness regenerating every analytic table and figure of the
+//! paper (see `EXPERIMENTS.md` for the full index).
+//!
+//! * The [`experiments`] module builds each experiment's workload and
+//!   returns structured rows (measured vs. formula);
+//! * `src/bin/tables.rs` prints them (`cargo run -p gmp-bench --bin tables`);
+//! * `benches/protocol.rs` wraps the same workloads in Criterion wall-clock
+//!   benchmarks (`cargo bench -p gmp-bench`).
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,206 @@
+//! Causality substrate: Lamport clocks, vector clocks, happens-before, and
+//! consistent cuts.
+//!
+//! The GMP specification (§2) is stated over *consistent cuts* of a system
+//! run — prefixes of the run closed under Lamport's happens-before relation.
+//! This crate provides the clock machinery the simulator uses to stamp every
+//! event, and the cut machinery the property checkers use to evaluate
+//! cut-indexed propositions such as `IsSysView(x)`.
+//!
+//! # Example
+//!
+//! ```
+//! use gmp_causality::VectorClock;
+//!
+//! let mut a = VectorClock::new(2);
+//! let mut b = VectorClock::new(2);
+//! a.tick(0);                 // event at p0
+//! b.observe(&a); b.tick(1);  // p1 receives p0's message
+//! assert!(a.happened_before(&b));
+//! assert!(!b.happened_before(&a));
+//! ```
+
+pub mod cut;
+
+pub use cut::{Cut, EventIndex, EventLog, LoggedEvent};
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A Lamport scalar clock (Lamport 1978, cited as [12] in the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LamportClock(pub u64);
+
+impl LamportClock {
+    /// A fresh clock at 0.
+    pub fn new() -> Self {
+        LamportClock(0)
+    }
+
+    /// Advances the clock for a local or send event and returns the new
+    /// timestamp.
+    pub fn tick(&mut self) -> u64 {
+        self.0 += 1;
+        self.0
+    }
+
+    /// Merges a received timestamp (`max(local, remote)`) and then ticks.
+    /// Returns the new timestamp.
+    pub fn merge(&mut self, remote: u64) -> u64 {
+        self.0 = self.0.max(remote);
+        self.tick()
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A fixed-dimension vector clock.
+///
+/// Dimension is the number of processes in the run; the simulator fixes it at
+/// construction time (joining processes exist from the start of the run and
+/// simply have not joined the *group* yet, so the dimension never changes).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        VectorClock { entries: vec![0; n] }
+    }
+
+    /// Dimension of the clock.
+    pub fn dim(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Component for process index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.entries[i]
+    }
+
+    /// Advances the local component `i` by one (a local/send event at
+    /// process `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    pub fn tick(&mut self, i: usize) {
+        self.entries[i] += 1;
+    }
+
+    /// Pointwise maximum with another clock (message reception), *without*
+    /// ticking the local component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn observe(&mut self, other: &VectorClock) {
+        assert_eq!(self.dim(), other.dim(), "vector clock dimension mismatch");
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self ≤ other` pointwise.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        assert_eq!(self.dim(), other.dim(), "vector clock dimension mismatch");
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
+    }
+
+    /// Strict happens-before: `self ≤ other` and `self ≠ other`.
+    pub fn happened_before(&self, other: &VectorClock) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// True when neither clock happened before the other (concurrent
+    /// events).
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Partial-order comparison: `Some(Less)` iff `self → other`,
+    /// `Some(Greater)` iff `other → self`, `Some(Equal)` iff identical, and
+    /// `None` for concurrent clocks.
+    pub fn partial_cmp_causal(&self, other: &VectorClock) -> Option<Ordering> {
+        match (self.le(other), other.le(self)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.entries
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lamport_basics() {
+        let mut c = LamportClock::new();
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.merge(10), 11);
+        assert_eq!(c.merge(3), 12);
+        assert_eq!(c.value(), 12);
+    }
+
+    #[test]
+    fn vector_clock_message_chain() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        let mut c = VectorClock::new(3);
+        a.tick(0); // e1 at p0
+        b.observe(&a);
+        b.tick(1); // receive at p1
+        c.tick(2); // concurrent event at p2
+        assert!(a.happened_before(&b));
+        assert!(c.concurrent_with(&a));
+        assert!(c.concurrent_with(&b));
+        assert_eq!(a.partial_cmp_causal(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp_causal(&a), Some(Ordering::Greater));
+        assert_eq!(a.partial_cmp_causal(&c), None);
+        assert_eq!(a.partial_cmp_causal(&a.clone()), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut a = VectorClock::new(2);
+        a.tick(1);
+        assert_eq!(a.to_string(), "<0,1>");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = VectorClock::new(2);
+        let b = VectorClock::new(3);
+        let _ = a.le(&b);
+    }
+}

@@ -1,0 +1,196 @@
+//! Protocol configuration.
+
+use gmp_types::ProcessId;
+
+/// Tuning knobs for a [`Member`](crate::Member).
+///
+/// Defaults reproduce the paper's *final* algorithm: condensed update rounds
+/// (§3.1), the `Mgr` majority requirement of Fig. 8, and gossip piggybacking
+/// (F2) on heartbeats.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Interval between heartbeat/failure-detector ticks.
+    pub heartbeat_every: u64,
+    /// Silence threshold after which a peer is suspected (F1). Must
+    /// comfortably exceed the network round trip or every run degenerates
+    /// into mutual suspicion.
+    pub suspect_after: u64,
+    /// Condensed update rounds: piggyback the next invitation on the commit
+    /// (§3.1). Disable to measure the standard two-phase cost (§7.2).
+    pub compression: bool,
+    /// The final algorithm's majority requirement for `Mgr` (Fig. 8,
+    /// `μ_Mgr`). Disable to run the §3.1 basic algorithm, which tolerates
+    /// `|Memb|−1` failures but assumes `Mgr` never fails.
+    pub mgr_majority: bool,
+    /// Piggyback the local faulty set on heartbeats (gossip source F2).
+    pub gossip: bool,
+    /// Run the full three-phase reconfiguration (interrogate → propose →
+    /// commit). Disabling this skips the proposal phase — exactly the
+    /// protocol Claim 7.2 proves *cannot* solve GMP. It exists solely so
+    /// the baseline experiments can reproduce that counterexample; never
+    /// disable it otherwise.
+    pub three_phase_reconfig: bool,
+    /// Present when this process starts *outside* the group and must join
+    /// (§7). `None` for initial members.
+    pub join: Option<JoinConfig>,
+    /// Present when this process is an *observer* of the group — the §8
+    /// hierarchical management service: it tracks the agreed membership
+    /// without ever being a member. `None` for members and joiners.
+    pub observe: Option<ObserveConfig>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            heartbeat_every: 40,
+            suspect_after: 200,
+            compression: true,
+            mgr_majority: true,
+            gossip: true,
+            three_phase_reconfig: true,
+            join: None,
+            observe: None,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration for an initial member.
+    pub fn new() -> Self {
+        Config::default()
+    }
+
+    /// Sets the heartbeat interval and suspicion timeout.
+    pub fn timing(mut self, heartbeat_every: u64, suspect_after: u64) -> Self {
+        assert!(heartbeat_every > 0 && suspect_after > 0, "timing values must be positive");
+        self.heartbeat_every = heartbeat_every;
+        self.suspect_after = suspect_after;
+        self
+    }
+
+    /// Disables condensed rounds (standard two-phase updates).
+    pub fn without_compression(mut self) -> Self {
+        self.compression = false;
+        self
+    }
+
+    /// Disables the `Mgr` majority requirement (§3.1 basic algorithm,
+    /// valid only when `Mgr` cannot fail).
+    pub fn without_mgr_majority(mut self) -> Self {
+        self.mgr_majority = false;
+        self
+    }
+
+    /// Disables heartbeat gossip.
+    pub fn without_gossip(mut self) -> Self {
+        self.gossip = false;
+        self
+    }
+
+    /// Degrades reconfiguration to two phases (interrogate → commit).
+    /// **Unsound** — provided only to reproduce the Claim 7.2
+    /// counterexample; see `gmp-baselines`.
+    pub fn with_two_phase_reconfig(mut self) -> Self {
+        self.three_phase_reconfig = false;
+        self
+    }
+
+    /// Marks this process as a joiner with the given parameters.
+    pub fn joining(mut self, join: JoinConfig) -> Self {
+        self.join = Some(join);
+        self
+    }
+
+    /// Marks this process as a group observer (§8).
+    pub fn observing(mut self, observe: ObserveConfig) -> Self {
+        self.observe = Some(observe);
+        self
+    }
+}
+
+/// How a process outside the group joins it (§7).
+#[derive(Clone, Debug)]
+pub struct JoinConfig {
+    /// Simulated time at which the first join request is sent.
+    pub at: u64,
+    /// Group members to contact (any member forwards to `Mgr`).
+    pub contacts: Vec<ProcessId>,
+    /// Retry interval until a `Welcome` arrives.
+    pub retry_every: u64,
+}
+
+impl JoinConfig {
+    /// A join request first sent at `at` to `contacts`, retried every 250
+    /// ticks.
+    pub fn new(at: u64, contacts: Vec<ProcessId>) -> Self {
+        assert!(!contacts.is_empty(), "a joiner needs at least one contact");
+        JoinConfig { at, contacts, retry_every: 250 }
+    }
+
+    /// Overrides the retry interval.
+    pub fn retry_every(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "retry interval must be positive");
+        self.retry_every = interval;
+        self
+    }
+}
+
+/// How an observer follows the group (§8 hierarchical service).
+#[derive(Clone, Debug)]
+pub struct ObserveConfig {
+    /// Simulated time of the first subscription attempt.
+    pub at: u64,
+    /// Members to subscribe to, tried in order; once view updates arrive,
+    /// the observed membership itself extends the fail-over list.
+    pub contacts: Vec<ProcessId>,
+    /// How often subscription health is re-checked.
+    pub poll_every: u64,
+}
+
+impl ObserveConfig {
+    /// An observer first subscribing at `at` through `contacts`, polling
+    /// every 100 ticks.
+    pub fn new(at: u64, contacts: Vec<ProcessId>) -> Self {
+        assert!(!contacts.is_empty(), "an observer needs at least one contact");
+        ObserveConfig { at, contacts, poll_every: 100 }
+    }
+
+    /// Overrides the polling interval.
+    pub fn poll_every(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "poll interval must be positive");
+        self.poll_every = interval;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_final_algorithm() {
+        let c = Config::default();
+        assert!(c.compression);
+        assert!(c.mgr_majority);
+        assert!(c.gossip);
+        assert!(c.join.is_none());
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = Config::new()
+            .timing(10, 50)
+            .without_compression()
+            .without_mgr_majority()
+            .without_gossip();
+        assert_eq!(c.heartbeat_every, 10);
+        assert_eq!(c.suspect_after, 50);
+        assert!(!c.compression && !c.mgr_majority && !c.gossip);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one contact")]
+    fn join_needs_contacts() {
+        let _ = JoinConfig::new(0, vec![]);
+    }
+}

@@ -1,0 +1,1469 @@
+//! The [`Member`] state machine: the paper's full algorithm.
+//!
+//! A member plays one of several roles at a time:
+//!
+//! * **Outer process** — responds to `Mgr`'s invitations and commits
+//!   (Fig. 9), and to reconfiguration messages (Fig. 10);
+//! * **`Mgr`** — coordinates two-phase updates with condensed rounds
+//!   (Fig. 8);
+//! * **Reconfiguration initiator** — runs the three-phase
+//!   interrogate/propose/commit algorithm when every process ranked above
+//!   it is perceived faulty (Fig. 10, §4).
+//!
+//! The failure-detector (F1), gossip (F2) and isolation (S1) rules of §2.2
+//! are integrated here; the decision procedures of Fig. 6 live in
+//! [`crate::decide`].
+
+use crate::config::Config;
+use crate::decide::{determine, PhaseOneResp};
+use crate::msg::Msg;
+use gmp_detect::{HeartbeatDetector, Isolation};
+use gmp_sim::{Ctx, Node};
+use gmp_types::note::{FaultySource, QuitReason};
+use gmp_types::{NextEntry, Note, Op, OpKind, ProcessId, Ver, View};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Timer tag: heartbeat + failure-detector tick.
+const TICK: u64 = 1;
+/// Timer tag: (re)send a join request.
+const JOIN: u64 = 2;
+/// Timer tag: observer subscription health check.
+const OBSERVE: u64 = 3;
+
+/// Where this process stands in the group lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// Outside the group, soliciting membership (§7).
+    Joining,
+    /// Outside the group, tracking its membership as an observer (§8
+    /// hierarchical service).
+    Observing,
+    /// A group member executing the protocol.
+    Active,
+    /// Crashed logically: executed `quit` (excluded or lost a majority).
+    Stopped,
+}
+
+/// The member's current protocol role.
+#[derive(Clone, Debug)]
+enum Role {
+    /// Follower.
+    Outer,
+    /// Coordinator with no update in flight.
+    MgrIdle,
+    /// Coordinator awaiting `OK`s for `op` installing `ver` (Fig. 8 await).
+    MgrAwait {
+        op: Op,
+        ver: Ver,
+        pending: BTreeSet<ProcessId>,
+        oks: BTreeSet<ProcessId>,
+    },
+    /// Reconfiguration Phase I: awaiting interrogation responses.
+    ReconfInterrogate {
+        pending: BTreeSet<ProcessId>,
+        resp: Vec<PhaseOneResp>,
+    },
+    /// Reconfiguration Phase II: awaiting proposal acknowledgements.
+    ReconfPropose {
+        v: Ver,
+        rl: Vec<Op>,
+        invis: Vec<Op>,
+        pending: BTreeSet<ProcessId>,
+        oks: BTreeSet<ProcessId>,
+    },
+}
+
+/// Deferred continuation after mutating role state (avoids re-borrow).
+enum After {
+    None,
+    MgrStart,
+    MgrComplete,
+    Phase1Complete,
+    Phase2Complete,
+    MaybeInitiate,
+}
+
+/// A group member running the Ricciardi–Birman membership protocol.
+///
+/// Construct initial members with [`Member::new`] (all initial members must
+/// be given the *same* view — GMP-0 assumes the initial membership is
+/// commonly known) and late joiners with a [`Config`] carrying a
+/// [`JoinConfig`](crate::JoinConfig).
+pub struct Member {
+    cfg: Config,
+    me: ProcessId,
+    lifecycle: Lifecycle,
+    view: View,
+    ver: Ver,
+    seq: Vec<Op>,
+    next: Vec<NextEntry>,
+    mgr: ProcessId,
+    /// `Faulty(p)`: believed faulty but not yet removed from the view.
+    faulty: BTreeSet<ProcessId>,
+    /// `Recovered(Mgr)`: queued joiners (meaningful while coordinator).
+    recovered: VecDeque<ProcessId>,
+    /// Contingent operations inherited from reconfiguration (`invis`),
+    /// executed first once this member is coordinator.
+    forced: VecDeque<Op>,
+    iso: Isolation,
+    fd: HeartbeatDetector,
+    role: Role,
+    /// Future-view update messages, waiting for their view (§3).
+    buffered: Vec<(ProcessId, Msg)>,
+    /// Suspicions queued by tests/experiments, applied at the next tick.
+    injected: Vec<ProcessId>,
+    /// Last time each suspect was reported to `Mgr` (for re-reports).
+    last_report: std::collections::BTreeMap<ProcessId, u64>,
+    /// Observers subscribed to this member's view stream (§8).
+    subscribers: BTreeSet<ProcessId>,
+    /// Observer-side state, when this process is an observer.
+    obs: Option<ObsState>,
+}
+
+/// Observer-side bookkeeping (§8 hierarchical service).
+#[derive(Clone, Debug)]
+struct ObsState {
+    /// Fail-over contact list (config contacts, extended by observed
+    /// membership).
+    contacts: Vec<ProcessId>,
+    /// Index of the contact currently subscribed to.
+    idx: usize,
+    /// Time of the last update (or subscription attempt).
+    last_update: u64,
+    /// Whether a subscription attempt is outstanding.
+    subscribed: bool,
+    /// Latest observed membership.
+    view: View,
+    /// Latest observed version.
+    ver: Ver,
+    /// Latest observed coordinator.
+    mgr: ProcessId,
+    /// Whether any update has arrived yet.
+    seen_any: bool,
+}
+
+impl Member {
+    /// Creates an initial member of `initial_view`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` carries a join configuration (use a joiner
+    /// constructor path for that) or if the initial view is empty.
+    pub fn new(cfg: Config, initial_view: View) -> Self {
+        assert!(cfg.join.is_none(), "initial members must not carry a join config");
+        assert!(!initial_view.is_empty(), "initial view must be non-empty");
+        let mgr = initial_view.most_senior().expect("non-empty view");
+        let suspect_after = cfg.suspect_after;
+        Member {
+            cfg,
+            me: ProcessId(u32::MAX), // assigned at start
+            lifecycle: Lifecycle::Active,
+            view: initial_view,
+            ver: 0,
+            seq: Vec::new(),
+            next: Vec::new(),
+            mgr,
+            faulty: BTreeSet::new(),
+            recovered: VecDeque::new(),
+            forced: VecDeque::new(),
+            iso: Isolation::new(),
+            fd: HeartbeatDetector::new(suspect_after),
+            role: Role::Outer,
+            buffered: Vec::new(),
+            injected: Vec::new(),
+            last_report: std::collections::BTreeMap::new(),
+            subscribers: BTreeSet::new(),
+            obs: None,
+        }
+    }
+
+    /// Creates a process outside the group that will ask to join (§7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` lacks a join configuration.
+    pub fn joiner(cfg: Config) -> Self {
+        assert!(cfg.join.is_some(), "a joiner requires a join config");
+        let suspect_after = cfg.suspect_after;
+        Member {
+            cfg,
+            me: ProcessId(u32::MAX),
+            lifecycle: Lifecycle::Joining,
+            view: View::empty(),
+            ver: 0,
+            seq: Vec::new(),
+            next: Vec::new(),
+            mgr: ProcessId(u32::MAX),
+            faulty: BTreeSet::new(),
+            recovered: VecDeque::new(),
+            forced: VecDeque::new(),
+            iso: Isolation::new(),
+            fd: HeartbeatDetector::new(suspect_after),
+            role: Role::Outer,
+            buffered: Vec::new(),
+            injected: Vec::new(),
+            last_report: std::collections::BTreeMap::new(),
+            subscribers: BTreeSet::new(),
+            obs: None,
+        }
+    }
+
+    /// Creates an observer of the group (§8): it receives every agreed
+    /// view transition but never becomes a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` lacks an observer configuration.
+    pub fn observer(cfg: Config) -> Self {
+        let observe = cfg.observe.clone().expect("an observer requires an observe config");
+        let mut m = Member::joiner_unchecked(cfg);
+        m.lifecycle = Lifecycle::Observing;
+        m.obs = Some(ObsState {
+            contacts: observe.contacts,
+            idx: 0,
+            last_update: 0,
+            subscribed: false,
+            view: View::empty(),
+            ver: 0,
+            mgr: ProcessId(u32::MAX),
+            seen_any: false,
+        });
+        m
+    }
+
+    /// Shared blank-state constructor for processes outside the group.
+    fn joiner_unchecked(cfg: Config) -> Self {
+        let suspect_after = cfg.suspect_after;
+        Member {
+            cfg,
+            me: ProcessId(u32::MAX),
+            lifecycle: Lifecycle::Joining,
+            view: View::empty(),
+            ver: 0,
+            seq: Vec::new(),
+            next: Vec::new(),
+            mgr: ProcessId(u32::MAX),
+            faulty: BTreeSet::new(),
+            recovered: VecDeque::new(),
+            forced: VecDeque::new(),
+            iso: Isolation::new(),
+            fd: HeartbeatDetector::new(suspect_after),
+            role: Role::Outer,
+            buffered: Vec::new(),
+            injected: Vec::new(),
+            last_report: std::collections::BTreeMap::new(),
+            subscribers: BTreeSet::new(),
+            obs: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection (tests, examples, experiments)
+    // ------------------------------------------------------------------
+
+    /// The current local view `Memb(p)`.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// The current local version `ver(p)`.
+    pub fn ver(&self) -> Ver {
+        self.ver
+    }
+
+    /// Whom this process considers coordinator.
+    pub fn mgr(&self) -> ProcessId {
+        self.mgr
+    }
+
+    /// True while this process is coordinator.
+    pub fn is_mgr(&self) -> bool {
+        matches!(self.role, Role::MgrIdle | Role::MgrAwait { .. })
+    }
+
+    /// Group lifecycle state.
+    pub fn lifecycle(&self) -> Lifecycle {
+        self.lifecycle
+    }
+
+    /// The committed operation sequence `seq(p)`.
+    pub fn seq(&self) -> &[Op] {
+        &self.seq
+    }
+
+    /// The expectation list `next(p)`.
+    pub fn next_list(&self) -> &[NextEntry] {
+        &self.next
+    }
+
+    /// Processes currently believed faulty and still in the view.
+    pub fn faulty_set(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.faulty.iter().copied()
+    }
+
+    /// Queues a spurious suspicion, applied at the next detector tick.
+    /// Models the degraded-performance misdetections of §2.2.
+    pub fn inject_suspicion(&mut self, q: ProcessId) {
+        self.injected.push(q);
+    }
+
+    /// True when this process is a group observer (§8).
+    pub fn is_observer(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// The latest membership an observer has learned of, with its version
+    /// and coordinator; `None` until the first update arrives (or if this
+    /// process is not an observer).
+    pub fn observed_view(&self) -> Option<(&View, Ver, ProcessId)> {
+        self.obs
+            .as_ref()
+            .filter(|o| o.seen_any)
+            .map(|o| (&o.view, o.ver, o.mgr))
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn do_quit(&mut self, ctx: &mut Ctx<'_, Msg>, reason: QuitReason) {
+        self.lifecycle = Lifecycle::Stopped;
+        ctx.note(Note::Quit { reason });
+        ctx.quit();
+    }
+
+    fn others(&self) -> Vec<ProcessId> {
+        self.view.iter().filter(|&p| p != self.me).collect()
+    }
+
+    /// `Memb − {me} − Faulty`: the processes whose response is awaited.
+    fn await_set(&self) -> BTreeSet<ProcessId> {
+        self.view
+            .iter()
+            .filter(|&p| p != self.me && !self.faulty.contains(&p))
+            .collect()
+    }
+
+    fn faulty_vec(&self) -> Vec<ProcessId> {
+        self.faulty.iter().copied().collect()
+    }
+
+    fn recovered_vec(&self) -> Vec<ProcessId> {
+        self.recovered.iter().copied().collect()
+    }
+
+    /// The initiator's own pending operations for `GetNext`: queued joiners
+    /// first (Fig. 8 serves `Recovered` first), then queued removals.
+    fn queue_ops(&self) -> Vec<Op> {
+        let mut q: Vec<Op> = self
+            .recovered
+            .iter()
+            .filter(|j| !self.view.contains(**j))
+            .map(|&j| Op::add(j))
+            .collect();
+        q.extend(
+            self.faulty
+                .iter()
+                .filter(|f| self.view.contains(**f))
+                .map(|&f| Op::remove(f)),
+        );
+        q
+    }
+
+    fn op_valid(&self, op: Op) -> bool {
+        match op.kind {
+            OpKind::Remove => self.view.contains(op.target) && op.target != self.me,
+            OpKind::Add => !self.view.contains(op.target),
+        }
+    }
+
+    /// Picks the next operation for the coordinator: inherited contingent
+    /// plan first, then queued joiners, then queued removals.
+    fn mgr_pick_next(&mut self) -> Option<Op> {
+        while let Some(&op) = self.forced.front() {
+            self.forced.pop_front();
+            if self.op_valid(op) {
+                return Some(op);
+            }
+        }
+        if let Some(&j) = self.recovered.iter().find(|j| !self.view.contains(**j)) {
+            return Some(Op::add(j));
+        }
+        if let Some(&f) = self.faulty.iter().find(|f| self.view.contains(**f)) {
+            return Some(Op::remove(f));
+        }
+        None
+    }
+
+    /// Applies one committed membership operation, bumping the version and
+    /// emitting the trace notes the property checkers consume.
+    fn apply_op(&mut self, ctx: &mut Ctx<'_, Msg>, op: Op) {
+        match op.kind {
+            OpKind::Remove => {
+                if op.target == self.me {
+                    self.do_quit(ctx, QuitReason::Excluded);
+                    return;
+                }
+                // GMP-1: `q ∉ Memb(p) ⇒ faulty_p(q)` — the belief always
+                // precedes the removal, whatever path committed it.
+                self.mark_faulty_quiet(ctx, op.target, FaultySource::Gossip);
+                self.view.remove(op.target);
+                self.faulty.remove(&op.target);
+                self.fd.forget(op.target);
+                self.last_report.remove(&op.target);
+            }
+            OpKind::Add => {
+                if op.target == self.me || !self.view.push_junior(op.target) {
+                    // Redundant add; still advances the version to stay in
+                    // lockstep with the rest of the group.
+                } else {
+                    self.fd.track(op.target, ctx.now());
+                }
+                self.recovered.retain(|&j| j != op.target);
+            }
+        }
+        self.seq.push(op);
+        self.ver += 1;
+        ctx.note(Note::OpApplied { op, ver: self.ver });
+        ctx.note(Note::ViewInstalled {
+            ver: self.ver,
+            members: self.view.to_vec(),
+            mgr: self.mgr,
+        });
+        self.notify_subscribers(ctx);
+    }
+
+    /// Streams the current view to subscribed observers (§8).
+    fn notify_subscribers(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.subscribers.is_empty() {
+            return;
+        }
+        let update = Msg::ViewUpdate {
+            members: self.view.to_vec(),
+            ver: self.ver,
+            mgr: self.mgr,
+        };
+        for s in self.subscribers.clone() {
+            ctx.send(s, update.clone());
+        }
+    }
+
+    /// Records `faulty_p(q)` without driving any protocol step: used while
+    /// already inside a protocol transition (e.g. applying a reconfiguration
+    /// proposal), where GMP-1 requires the belief to precede the removal but
+    /// triggering succession logic mid-step would be unsound.
+    fn mark_faulty_quiet(&mut self, ctx: &mut Ctx<'_, Msg>, q: ProcessId, source: FaultySource) {
+        if q == self.me || !self.iso.isolate(q) {
+            return;
+        }
+        self.fd.suspect(q);
+        ctx.note(Note::Faulty { suspect: q, source });
+        if self.view.contains(q) {
+            self.faulty.insert(q);
+        }
+        self.recovered.retain(|&j| j != q);
+    }
+
+    /// Applies a reconfiguration proposal `rl` installing version `v`,
+    /// starting from whatever prefix this process already holds.
+    fn apply_rl(&mut self, ctx: &mut Ctx<'_, Msg>, rl: &[Op], v: Ver) {
+        if self.ver >= v {
+            return;
+        }
+        debug_assert!(!rl.is_empty(), "a reconfiguration proposal installs at least one op");
+        let start = v.saturating_sub(rl.len() as u64);
+        if self.ver < start {
+            // Further behind than the proposal can repair; impossible per
+            // Prop. 5.1 but tolerated defensively.
+            ctx.note(Note::Custom(format!(
+                "cannot catch up: at v{} but proposal covers v{}..v{}",
+                self.ver, start, v
+            )));
+            return;
+        }
+        let skip = (self.ver - start) as usize;
+        for &op in &rl[skip..] {
+            self.apply_op(ctx, op);
+            if self.lifecycle == Lifecycle::Stopped {
+                return;
+            }
+        }
+        debug_assert_eq!(self.ver, v);
+    }
+
+    /// The core `faulty_p(q)` event (§2.2): isolates `q` (S1), records the
+    /// belief, and drives whatever protocol step the suspicion unblocks.
+    fn handle_faulty(&mut self, ctx: &mut Ctx<'_, Msg>, q: ProcessId, source: FaultySource) {
+        if q == self.me || self.lifecycle == Lifecycle::Stopped {
+            return;
+        }
+        if !self.iso.isolate(q) {
+            return; // already believed faulty
+        }
+        self.fd.suspect(q);
+        ctx.note(Note::Faulty { suspect: q, source });
+        if !self.view.contains(q) {
+            return;
+        }
+        self.faulty.insert(q);
+        self.recovered.retain(|&j| j != q);
+        if self.lifecycle != Lifecycle::Active {
+            return;
+        }
+        // Drop placeholders of a dead interrogator: we stop waiting for its
+        // proposal. Concrete entries are evidence and stay (§4.4).
+        self.next.retain(|e| !(e.is_placeholder() && e.coord == q));
+
+        let after = match &mut self.role {
+            Role::MgrIdle => After::MgrStart,
+            Role::MgrAwait { pending, .. } => {
+                pending.remove(&q);
+                if pending.is_empty() {
+                    After::MgrComplete
+                } else {
+                    After::None
+                }
+            }
+            Role::ReconfInterrogate { pending, .. } => {
+                pending.remove(&q);
+                if pending.is_empty() {
+                    After::Phase1Complete
+                } else {
+                    After::None
+                }
+            }
+            Role::ReconfPropose { pending, .. } => {
+                pending.remove(&q);
+                if pending.is_empty() {
+                    After::Phase2Complete
+                } else {
+                    After::None
+                }
+            }
+            Role::Outer => After::MaybeInitiate,
+        };
+        match after {
+            After::None => {}
+            After::MgrStart => self.mgr_start_update(ctx),
+            After::MgrComplete => self.mgr_oks_complete(ctx),
+            After::Phase1Complete => self.reconf_phase1_complete(ctx),
+            After::Phase2Complete => self.reconf_phase2_complete(ctx),
+            After::MaybeInitiate => {
+                // Report the observation so Mgr starts the exclusion
+                // algorithm (§3.1); gossip-derived beliefs are re-reported
+                // periodically instead to avoid echo storms.
+                if matches!(source, FaultySource::Observation | FaultySource::Injected)
+                    && q != self.mgr
+                    && self.mgr != self.me
+                    && !self.faulty.contains(&self.mgr)
+                {
+                    ctx.send(self.mgr, Msg::FaultyReport { suspect: q });
+                    self.last_report.insert(q, ctx.now());
+                }
+                self.maybe_initiate(ctx);
+            }
+        }
+    }
+
+    /// The succession rule (§4.2): initiate reconfiguration when every
+    /// member ranked above this process — and the coordinator — is
+    /// perceived faulty.
+    fn maybe_initiate(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.lifecycle != Lifecycle::Active || !matches!(self.role, Role::Outer) {
+            return;
+        }
+        if self.mgr == self.me || !self.view.contains(self.me) {
+            return;
+        }
+        let seniors_faulty = self
+            .view
+            .seniors_of(self.me)
+            .iter()
+            .all(|s| self.faulty.contains(s));
+        if seniors_faulty && self.faulty.contains(&self.mgr) {
+            self.start_reconf(ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Coordinator: two-phase update with condensed rounds (Fig. 8)
+    // ------------------------------------------------------------------
+
+    fn mgr_start_update(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(op) = self.mgr_pick_next() else {
+            self.role = Role::MgrIdle;
+            return;
+        };
+        let vnext = self.ver + 1;
+        ctx.broadcast(self.others(), Msg::Invite { op, ver: vnext });
+        let pending = self.await_set();
+        self.role = Role::MgrAwait { op, ver: vnext, pending, oks: BTreeSet::new() };
+        self.mgr_check_complete(ctx);
+    }
+
+    fn mgr_check_complete(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let done = matches!(&self.role, Role::MgrAwait { pending, .. } if pending.is_empty());
+        if done {
+            self.mgr_oks_complete(ctx);
+        }
+    }
+
+    /// Every awaited member has responded or been suspected: commit.
+    fn mgr_oks_complete(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Role::MgrAwait { op, ver: v, oks, .. } =
+            std::mem::replace(&mut self.role, Role::MgrIdle)
+        else {
+            return;
+        };
+        if self.cfg.mgr_majority {
+            let got = oks.len() + 1; // counting Mgr itself
+            let needed = self.view.majority();
+            if got < needed {
+                self.do_quit(ctx, QuitReason::NoMajority { got, needed });
+                return;
+            }
+        }
+        self.apply_op(ctx, op);
+        if self.lifecycle == Lifecycle::Stopped {
+            return;
+        }
+        debug_assert_eq!(self.ver, v);
+        if op.kind == OpKind::Add {
+            ctx.send(
+                op.target,
+                Msg::Welcome {
+                    members: self.view.to_vec(),
+                    ver: self.ver,
+                    seq: self.seq.clone(),
+                    mgr: self.me,
+                },
+            );
+        }
+        if self.cfg.compression {
+            let nxt = self.mgr_pick_next();
+            ctx.broadcast(
+                self.others(),
+                Msg::Commit {
+                    op,
+                    ver: v,
+                    next: nxt,
+                    faulty: self.faulty_vec(),
+                    recovered: self.recovered_vec(),
+                },
+            );
+            if let Some(n) = nxt {
+                let pending = self.await_set();
+                self.role = Role::MgrAwait { op: n, ver: v + 1, pending, oks: BTreeSet::new() };
+                self.mgr_check_complete(ctx);
+            } else {
+                self.role = Role::MgrIdle;
+            }
+        } else {
+            ctx.broadcast(
+                self.others(),
+                Msg::Commit {
+                    op,
+                    ver: v,
+                    next: None,
+                    faulty: self.faulty_vec(),
+                    recovered: self.recovered_vec(),
+                },
+            );
+            self.role = Role::MgrIdle;
+            self.mgr_start_update(ctx); // fresh invitation for the next op
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Outer process: update protocol (Fig. 9)
+    // ------------------------------------------------------------------
+
+    fn on_invite(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, op: Op, v: Ver) {
+        if from != self.mgr || !matches!(self.role, Role::Outer) {
+            return;
+        }
+        if v <= self.ver {
+            return; // stale duplicate
+        }
+        if v > self.ver + 1 {
+            self.buffered.push((from, Msg::Invite { op, ver: v }));
+            return;
+        }
+        if op.removes(self.me) {
+            self.do_quit(ctx, QuitReason::Excluded);
+            return;
+        }
+        match op.kind {
+            OpKind::Remove => self.handle_faulty(ctx, op.target, FaultySource::Gossip),
+            OpKind::Add => ctx.note(Note::Operating { id: op.target }),
+        }
+        if self.lifecycle == Lifecycle::Stopped {
+            return;
+        }
+        self.next = vec![NextEntry::concrete(vec![op], self.mgr, v)];
+        ctx.send(self.mgr, Msg::UpdateOk { ver: v });
+    }
+
+    fn on_update_ok(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, v: Ver) {
+        let complete = match &mut self.role {
+            Role::MgrAwait { ver, pending, oks, .. } if *ver == v => {
+                if pending.remove(&from) {
+                    oks.insert(from);
+                }
+                pending.is_empty()
+            }
+            _ => false,
+        };
+        if complete {
+            self.mgr_oks_complete(ctx);
+        }
+    }
+
+    fn on_commit(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ProcessId,
+        op: Op,
+        v: Ver,
+        nxt: Option<Op>,
+        f: Vec<ProcessId>,
+        r: Vec<ProcessId>,
+    ) {
+        if from != self.mgr || !matches!(self.role, Role::Outer) {
+            return;
+        }
+        if v > self.ver + 1 {
+            self.buffered.push((from, Msg::Commit { op, ver: v, next: nxt, faulty: f, recovered: r }));
+            return;
+        }
+        if v < self.ver {
+            return; // stale
+        }
+        if f.contains(&self.me) || nxt.map(|n| n.removes(self.me)).unwrap_or(false) {
+            self.do_quit(ctx, QuitReason::Excluded);
+            return;
+        }
+        if v == self.ver {
+            // Already installed (e.g. a joiner bootstrapped by `Welcome` at
+            // this very version): only the contingent part matters.
+            self.process_contingent(ctx, nxt, &f, &r);
+            return;
+        }
+        // v == self.ver + 1: apply.
+        for &q in &f {
+            if q != op.target {
+                self.handle_faulty(ctx, q, FaultySource::Gossip);
+                if self.lifecycle == Lifecycle::Stopped {
+                    return;
+                }
+            }
+        }
+        for &j in &r {
+            ctx.note(Note::Operating { id: j });
+        }
+        if op.removes(self.me) {
+            self.do_quit(ctx, QuitReason::Excluded);
+            return;
+        }
+        self.apply_op(ctx, op);
+        if self.lifecycle == Lifecycle::Stopped {
+            return;
+        }
+        self.process_contingent(ctx, nxt, &[], &[]);
+        self.drain_buffer(ctx);
+    }
+
+    /// Handles the `Contingent(next-op(next-id) : F : R)` part of a commit:
+    /// under compression it doubles as the next invitation (§3.1).
+    fn process_contingent(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        nxt: Option<Op>,
+        f: &[ProcessId],
+        r: &[ProcessId],
+    ) {
+        for &q in f {
+            self.handle_faulty(ctx, q, FaultySource::Gossip);
+            if self.lifecycle == Lifecycle::Stopped {
+                return;
+            }
+        }
+        for &j in r {
+            ctx.note(Note::Operating { id: j });
+        }
+        match nxt {
+            Some(n) => {
+                if n.removes(self.me) {
+                    self.do_quit(ctx, QuitReason::Excluded);
+                    return;
+                }
+                match n.kind {
+                    OpKind::Remove => {
+                        self.handle_faulty(ctx, n.target, FaultySource::Gossip);
+                        if self.lifecycle == Lifecycle::Stopped {
+                            return;
+                        }
+                    }
+                    OpKind::Add => ctx.note(Note::Operating { id: n.target }),
+                }
+                self.next = vec![NextEntry::concrete(vec![n], self.mgr, self.ver + 1)];
+                ctx.send(self.mgr, Msg::UpdateOk { ver: self.ver + 1 });
+            }
+            None => {
+                self.next.clear();
+            }
+        }
+    }
+
+    /// Replays buffered future-view messages that have become current.
+    fn drain_buffer(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        loop {
+            if self.lifecycle == Lifecycle::Stopped {
+                return;
+            }
+            let cur = self.ver;
+            // Discard obsolete entries.
+            self.buffered.retain(|(_, m)| match m {
+                Msg::Invite { ver, .. } | Msg::Commit { ver, .. } => *ver > cur,
+                _ => true,
+            });
+            let pos = self.buffered.iter().position(|(_, m)| match m {
+                Msg::Invite { ver, .. } => *ver == cur + 1,
+                Msg::Commit { ver, .. } => *ver == cur + 1,
+                _ => false,
+            });
+            let Some(pos) = pos else { return };
+            let (from, msg) = self.buffered.remove(pos);
+            self.dispatch(ctx, from, msg);
+            if self.ver == cur && !matches!(self.role, Role::Outer) {
+                return;
+            }
+            if self.ver == cur {
+                // Nothing advanced (the buffered message was an invite):
+                // wait for more traffic.
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reconfiguration (Figs. 5, 10)
+    // ------------------------------------------------------------------
+
+    fn start_reconf(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.note(Note::ReconfStarted { from_ver: self.ver });
+        ctx.broadcast(self.others(), Msg::Interrogate);
+        let my_resp = PhaseOneResp {
+            from: self.me,
+            ver: self.ver,
+            seq: self.seq.clone(),
+            next: self.next.clone(),
+        };
+        let pending = self.await_set();
+        self.role = Role::ReconfInterrogate { pending, resp: vec![my_resp] };
+        let done = matches!(&self.role, Role::ReconfInterrogate { pending, .. } if pending.is_empty());
+        if done {
+            self.reconf_phase1_complete(ctx);
+        }
+    }
+
+    fn on_interrogate(&mut self, ctx: &mut Ctx<'_, Msg>, r: ProcessId) {
+        if !matches!(self.lifecycle, Lifecycle::Active) {
+            return;
+        }
+        let (Some(ri), Some(mi)) = (self.view.index_of(r), self.view.index_of(self.me)) else {
+            return; // unknown initiator: stale
+        };
+        // Fig. 10: a process ranked above the initiator is in HiFaulty(r)
+        // and is being excluded — it quits.
+        if ri > mi {
+            self.do_quit(ctx, QuitReason::Excluded);
+            return;
+        }
+        // Respond with the pre-placeholder state (§4.4 ordering).
+        ctx.send(
+            r,
+            Msg::InterrogateOk { ver: self.ver, seq: self.seq.clone(), next: self.next.clone() },
+        );
+        // Infer HiFaulty(r): every member senior to r (§4.5).
+        for s in self.view.seniors_of(r).to_vec() {
+            self.handle_faulty(ctx, s, FaultySource::HiFaultyInference);
+            if self.lifecycle == Lifecycle::Stopped {
+                return;
+            }
+        }
+        self.next.push(NextEntry::placeholder(r));
+    }
+
+    fn on_interrogate_ok(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ProcessId,
+        ver: Ver,
+        seq: Vec<Op>,
+        next: Vec<NextEntry>,
+    ) {
+        let complete = match &mut self.role {
+            Role::ReconfInterrogate { pending, resp } => {
+                if pending.remove(&from) {
+                    resp.push(PhaseOneResp { from, ver, seq, next });
+                }
+                pending.is_empty()
+            }
+            _ => return,
+        };
+        if complete {
+            self.reconf_phase1_complete(ctx);
+        }
+    }
+
+    fn reconf_phase1_complete(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Role::ReconfInterrogate { resp, .. } =
+            std::mem::replace(&mut self.role, Role::Outer)
+        else {
+            return;
+        };
+        let got = resp.len(); // includes this initiator
+        let needed = self.view.majority();
+        if got < needed {
+            self.do_quit(ctx, QuitReason::NoMajority { got, needed });
+            return;
+        }
+        let queue = self.queue_ops();
+        let decision = determine(&resp[0], &resp[1..], &self.view, self.mgr, &queue);
+        if !self.cfg.three_phase_reconfig {
+            // Claim 7.2 baseline: commit directly after interrogation. The
+            // proposal phase is what plants each initiator's plan in the
+            // respondents' `next` lists; skipping it makes invisible commits
+            // undetectable — see `gmp-baselines` for the counterexample.
+            self.reconf_commit_now(ctx, decision.v, decision.rl, decision.invis);
+            return;
+        }
+        ctx.broadcast(
+            self.others(),
+            Msg::Propose {
+                rl: decision.rl.clone(),
+                ver: decision.v,
+                invis: decision.invis.clone(),
+                faulty: self.faulty_vec(),
+            },
+        );
+        let pending = self.await_set();
+        self.role = Role::ReconfPropose {
+            v: decision.v,
+            rl: decision.rl,
+            invis: decision.invis,
+            pending,
+            oks: BTreeSet::new(),
+        };
+        let done = matches!(&self.role, Role::ReconfPropose { pending, .. } if pending.is_empty());
+        if done {
+            self.reconf_phase2_complete(ctx);
+        }
+    }
+
+    fn on_propose(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ProcessId,
+        rl: Vec<Op>,
+        v: Ver,
+        invis: Vec<Op>,
+        f: Vec<ProcessId>,
+    ) {
+        if !matches!(self.role, Role::Outer) || self.lifecycle != Lifecycle::Active {
+            return;
+        }
+        if v < self.ver {
+            return; // initiator is behind us: stale
+        }
+        if f.contains(&self.me)
+            || rl.iter().any(|op| op.removes(self.me))
+            || invis.iter().any(|op| op.removes(self.me))
+        {
+            self.do_quit(ctx, QuitReason::Excluded);
+            return;
+        }
+        for &q in &f {
+            self.handle_faulty(ctx, q, FaultySource::Gossip);
+            if self.lifecycle == Lifecycle::Stopped {
+                return;
+            }
+        }
+        // "p executes faulty_p(RL_r) upon receipt of r's proposal" (§6).
+        for op in &rl {
+            if op.kind == OpKind::Remove {
+                self.mark_faulty_quiet(ctx, op.target, FaultySource::Gossip);
+            }
+        }
+        self.next = vec![NextEntry::concrete(rl, from, v)];
+        ctx.send(from, Msg::ProposeOk { ver: v });
+    }
+
+    fn on_propose_ok(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, v: Ver) {
+        let complete = match &mut self.role {
+            Role::ReconfPropose { v: pv, pending, oks, .. } if *pv == v => {
+                if pending.remove(&from) {
+                    oks.insert(from);
+                }
+                pending.is_empty()
+            }
+            _ => return,
+        };
+        if complete {
+            self.reconf_phase2_complete(ctx);
+        }
+    }
+
+    fn reconf_phase2_complete(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Role::ReconfPropose { v, rl, invis, oks, .. } =
+            std::mem::replace(&mut self.role, Role::Outer)
+        else {
+            return;
+        };
+        let got = oks.len() + 1;
+        let needed = self.view.majority();
+        if got < needed {
+            self.do_quit(ctx, QuitReason::NoMajority { got, needed });
+            return;
+        }
+        self.reconf_commit_now(ctx, v, rl, invis);
+    }
+
+    /// Phase III: install `rl`, announce the commit, and assume the `Mgr`
+    /// role on the contingent plan.
+    fn reconf_commit_now(&mut self, ctx: &mut Ctx<'_, Msg>, v: Ver, rl: Vec<Op>, invis: Vec<Op>) {
+        // The commit's authority *is* the new coordinator: attribute the
+        // installed views (and observer notifications) to it.
+        self.mgr = self.me;
+        self.apply_rl(ctx, &rl, v);
+        if self.lifecycle == Lifecycle::Stopped {
+            return;
+        }
+        ctx.note(Note::BecameMgr { ver: self.ver });
+        let carried_invis = if self.cfg.compression { invis.clone() } else { Vec::new() };
+        ctx.broadcast(
+            self.others(),
+            Msg::ReconfCommit {
+                rl,
+                ver: v,
+                invis: carried_invis,
+                faulty: self.faulty_vec(),
+            },
+        );
+        self.next.clear();
+        // Begin the Mgr role on the contingent plan.
+        self.forced = invis.iter().copied().collect();
+        if self.cfg.compression && invis.first().map(|&op| self.op_valid(op)).unwrap_or(false) {
+            // The reconfiguration commit doubled as the invitation for the
+            // first contingent operation: go straight to the await phase.
+            let op = self.forced.pop_front().expect("plan is non-empty");
+            let vnext = self.ver + 1;
+            let pending = self.await_set();
+            self.role = Role::MgrAwait { op, ver: vnext, pending, oks: BTreeSet::new() };
+            self.mgr_check_complete(ctx);
+        } else {
+            // No usable plan (or compression off): fresh invitations.
+            self.role = Role::MgrIdle;
+            self.mgr_start_update(ctx);
+        }
+    }
+
+    fn on_reconf_commit(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ProcessId,
+        rl: Vec<Op>,
+        v: Ver,
+        invis: Vec<Op>,
+        f: Vec<ProcessId>,
+    ) {
+        if !matches!(self.role, Role::Outer) || self.lifecycle != Lifecycle::Active {
+            return;
+        }
+        if v < self.ver {
+            return;
+        }
+        if f.contains(&self.me)
+            || rl.iter().any(|op| op.removes(self.me))
+            || invis.first().map(|op| op.removes(self.me)).unwrap_or(false)
+        {
+            self.do_quit(ctx, QuitReason::Excluded);
+            return;
+        }
+        for &q in &f {
+            self.handle_faulty(ctx, q, FaultySource::Gossip);
+            if self.lifecycle == Lifecycle::Stopped {
+                return;
+            }
+        }
+        self.mgr = from; // the commit's authority is the new coordinator
+        self.apply_rl(ctx, &rl, v);
+        if self.lifecycle == Lifecycle::Stopped {
+            return;
+        }
+        // Compressed continuation: the commit doubles as the invitation for
+        // the first contingent operation.
+        match invis.first().copied() {
+            Some(n) => {
+                match n.kind {
+                    OpKind::Remove => {
+                        self.handle_faulty(ctx, n.target, FaultySource::Gossip);
+                        if self.lifecycle == Lifecycle::Stopped {
+                            return;
+                        }
+                    }
+                    OpKind::Add => ctx.note(Note::Operating { id: n.target }),
+                }
+                self.next = vec![NextEntry::concrete(vec![n], from, self.ver + 1)];
+                ctx.send(from, Msg::UpdateOk { ver: self.ver + 1 });
+            }
+            None => self.next.clear(),
+        }
+        // GMP-5 liveness: surviving suspicions reach the new coordinator.
+        self.report_suspects(ctx);
+        self.drain_buffer(ctx);
+    }
+
+    fn report_suspects(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.mgr == self.me || self.faulty.contains(&self.mgr) {
+            return;
+        }
+        let now = ctx.now();
+        let suspects: Vec<ProcessId> = self
+            .faulty
+            .iter()
+            .filter(|q| self.view.contains(**q) && **q != self.mgr)
+            .copied()
+            .collect();
+        for q in suspects {
+            ctx.send(self.mgr, Msg::FaultyReport { suspect: q });
+            self.last_report.insert(q, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Joins (§7)
+    // ------------------------------------------------------------------
+
+    fn on_join_request(&mut self, ctx: &mut Ctx<'_, Msg>, joiner: ProcessId) {
+        if self.lifecycle != Lifecycle::Active || joiner == self.me {
+            return;
+        }
+        if self.view.contains(joiner) {
+            // Already a member (it may have missed its Welcome): any member
+            // can re-welcome it.
+            ctx.send(
+                joiner,
+                Msg::Welcome {
+                    members: self.view.to_vec(),
+                    ver: self.ver,
+                    seq: self.seq.clone(),
+                    mgr: self.mgr,
+                },
+            );
+            return;
+        }
+        if self.is_mgr() {
+            if !self.recovered.contains(&joiner) && !self.iso.is_isolated(joiner) {
+                self.recovered.push_back(joiner);
+                ctx.note(Note::JoinRequested { joiner });
+                if matches!(self.role, Role::MgrIdle) {
+                    self.mgr_start_update(ctx);
+                }
+            }
+        } else if !self.faulty.contains(&self.mgr) && self.mgr != self.me {
+            ctx.send(self.mgr, Msg::JoinRequest { joiner });
+        }
+    }
+
+    fn on_welcome(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        members: Vec<ProcessId>,
+        v: Ver,
+        seq: Vec<Op>,
+        mgr: ProcessId,
+    ) {
+        if self.lifecycle != Lifecycle::Joining {
+            return;
+        }
+        self.view = View::new(members);
+        self.ver = v;
+        self.seq = seq;
+        self.mgr = mgr;
+        self.lifecycle = Lifecycle::Active;
+        self.role = Role::Outer;
+        // Bootstrap grace: members only start heartbeating this joiner once
+        // *their* copy of the add-commit arrives, which can lag well behind
+        // the Welcome if the coordinator fails mid-broadcast. Future-dating
+        // the first life sign gives them three full timeout windows before
+        // the joiner may suspect anyone it has never heard from.
+        let grace = ctx.now() + 2 * self.cfg.suspect_after;
+        for p in self.view.to_vec() {
+            if p != self.me {
+                self.fd.track(p, grace);
+            }
+        }
+        ctx.note(Note::ViewInstalled {
+            ver: self.ver,
+            members: self.view.to_vec(),
+            mgr: self.mgr,
+        });
+        ctx.set_timer(self.cfg.heartbeat_every, TICK);
+    }
+
+    // ------------------------------------------------------------------
+    // Observer side (§8 hierarchical service)
+    // ------------------------------------------------------------------
+
+    /// Handles a view notification at an observer.
+    fn on_view_update(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        members: Vec<ProcessId>,
+        v: Ver,
+        mgr: ProcessId,
+    ) {
+        let Some(obs) = self.obs.as_mut() else { return };
+        obs.last_update = ctx.now();
+        obs.subscribed = true;
+        if obs.seen_any && v <= obs.ver {
+            return; // stale or duplicate snapshot
+        }
+        obs.view = View::new(members.clone());
+        obs.ver = v;
+        obs.mgr = mgr;
+        obs.seen_any = true;
+        ctx.note(Note::ObservedView { ver: v, members, mgr });
+    }
+
+    /// Periodic observer maintenance: subscribe, detect a dead contact,
+    /// fail over to the next one.
+    fn on_observe_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.lifecycle != Lifecycle::Observing {
+            return;
+        }
+        let poll_every = self.cfg.observe.as_ref().expect("observer config").poll_every;
+        let now = ctx.now();
+        let Some(obs) = self.obs.as_mut() else { return };
+        // Fail-over candidates: configured contacts plus every member we
+        // have observed (the service outlives any single member).
+        let mut candidates: Vec<ProcessId> = obs.contacts.clone();
+        for m in obs.view.iter() {
+            if !candidates.contains(&m) {
+                candidates.push(m);
+            }
+        }
+        let stale = now.saturating_sub(obs.last_update) >= self.cfg.suspect_after;
+        if stale {
+            if obs.subscribed || obs.last_update > 0 {
+                obs.idx = (obs.idx + 1) % candidates.len();
+            }
+            obs.subscribed = false;
+            obs.last_update = now;
+        }
+        let contact = candidates[obs.idx % candidates.len()];
+        if !obs.subscribed {
+            ctx.send(contact, Msg::Subscribe);
+        }
+        ctx.set_timer(poll_every, OBSERVE);
+    }
+
+    // ------------------------------------------------------------------
+    // Periodic tick: heartbeats + failure detection (F1)
+    // ------------------------------------------------------------------
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.lifecycle != Lifecycle::Active {
+            return;
+        }
+        let now = ctx.now();
+        let hb_faulty = if self.cfg.gossip { self.faulty_vec() } else { Vec::new() };
+        let targets: Vec<ProcessId> = self
+            .view
+            .iter()
+            .filter(|&p| p != self.me && !self.faulty.contains(&p))
+            .collect();
+        ctx.broadcast(targets, Msg::Heartbeat { faulty: hb_faulty });
+
+        // Apply injected (spurious) suspicions first, then timeouts.
+        let injected = std::mem::take(&mut self.injected);
+        for q in injected {
+            self.handle_faulty(ctx, q, FaultySource::Injected);
+            if self.lifecycle == Lifecycle::Stopped {
+                return;
+            }
+        }
+        for q in self.fd.tick(now) {
+            self.handle_faulty(ctx, q, FaultySource::Observation);
+            if self.lifecycle == Lifecycle::Stopped {
+                return;
+            }
+        }
+
+        // Periodic re-reports keep GMP-5 live across coordinator changes
+        // and lost observers.
+        if !self.is_mgr() && self.mgr != self.me && !self.faulty.contains(&self.mgr) {
+            let due: Vec<ProcessId> = self
+                .faulty
+                .iter()
+                .filter(|q| self.view.contains(**q))
+                .filter(|q| {
+                    self.last_report
+                        .get(q)
+                        .map(|&t| now.saturating_sub(t) >= self.cfg.suspect_after)
+                        .unwrap_or(true)
+                })
+                .copied()
+                .collect();
+            for q in due {
+                ctx.send(self.mgr, Msg::FaultyReport { suspect: q });
+                self.last_report.insert(q, now);
+            }
+        }
+
+        ctx.set_timer(self.cfg.heartbeat_every, TICK);
+    }
+
+    /// Central message dispatch (shared by live delivery and buffer replay).
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, msg: Msg) {
+        match msg {
+            Msg::Heartbeat { faulty } => {
+                if self.cfg.gossip {
+                    for q in faulty {
+                        if q != self.me {
+                            self.handle_faulty(ctx, q, FaultySource::Gossip);
+                            if self.lifecycle == Lifecycle::Stopped {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            Msg::FaultyReport { suspect } => {
+                if self.is_mgr() {
+                    self.handle_faulty(ctx, suspect, FaultySource::Gossip);
+                }
+            }
+            Msg::JoinRequest { joiner } => self.on_join_request(ctx, joiner),
+            Msg::Invite { op, ver } => self.on_invite(ctx, from, op, ver),
+            Msg::UpdateOk { ver } => self.on_update_ok(ctx, from, ver),
+            Msg::Commit { op, ver, next, faulty, recovered } => {
+                self.on_commit(ctx, from, op, ver, next, faulty, recovered)
+            }
+            Msg::Interrogate => self.on_interrogate(ctx, from),
+            Msg::InterrogateOk { ver, seq, next } => {
+                self.on_interrogate_ok(ctx, from, ver, seq, next)
+            }
+            Msg::Propose { rl, ver, invis, faulty } => {
+                self.on_propose(ctx, from, rl, ver, invis, faulty)
+            }
+            Msg::ProposeOk { ver } => self.on_propose_ok(ctx, from, ver),
+            Msg::ReconfCommit { rl, ver, invis, faulty } => {
+                self.on_reconf_commit(ctx, from, rl, ver, invis, faulty)
+            }
+            Msg::Welcome { members, ver, seq, mgr } => self.on_welcome(ctx, members, ver, seq, mgr),
+            Msg::Subscribe => {
+                if self.lifecycle == Lifecycle::Active {
+                    self.subscribers.insert(from);
+                    ctx.send(
+                        from,
+                        Msg::ViewUpdate {
+                            members: self.view.to_vec(),
+                            ver: self.ver,
+                            mgr: self.mgr,
+                        },
+                    );
+                }
+            }
+            Msg::ViewUpdate { .. } => {} // members ignore stray updates
+        }
+    }
+}
+
+impl Node<Msg> for Member {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.me = ctx.id();
+        if self.obs.is_some() {
+            let at = self.cfg.observe.as_ref().expect("observer config").at.max(1);
+            ctx.set_timer(at, OBSERVE);
+            return;
+        }
+        match self.cfg.join.clone() {
+            Some(join) => {
+                self.lifecycle = Lifecycle::Joining;
+                let delay = join.at.max(1);
+                ctx.set_timer(delay, JOIN);
+            }
+            None => {
+                assert!(
+                    self.view.contains(self.me),
+                    "initial member {} must appear in its initial view",
+                    self.me
+                );
+                let now = ctx.now();
+                for p in self.view.to_vec() {
+                    if p != self.me {
+                        self.fd.track(p, now);
+                    }
+                }
+                ctx.note(Note::ViewInstalled {
+                    ver: 0,
+                    members: self.view.to_vec(),
+                    mgr: self.mgr,
+                });
+                if self.mgr == self.me {
+                    self.role = Role::MgrIdle;
+                    ctx.note(Note::BecameMgr { ver: 0 });
+                }
+                ctx.set_timer(self.cfg.heartbeat_every, TICK);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, msg: Msg) {
+        if self.lifecycle == Lifecycle::Stopped {
+            return;
+        }
+        // S1: messages from perceived-faulty processes are discarded.
+        if self.iso.is_isolated(from) {
+            ctx.note(Note::Isolated { from });
+            return;
+        }
+        if self.lifecycle == Lifecycle::Joining {
+            if let Msg::Welcome { members, ver, seq, mgr } = msg {
+                self.on_welcome(ctx, members, ver, seq, mgr);
+            }
+            return;
+        }
+        if self.lifecycle == Lifecycle::Observing {
+            if let Msg::ViewUpdate { members, ver, mgr } = msg {
+                self.on_view_update(ctx, members, ver, mgr);
+            }
+            return;
+        }
+        self.fd.heard_from(from, ctx.now());
+        self.dispatch(ctx, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        if self.lifecycle == Lifecycle::Stopped {
+            return;
+        }
+        match tag {
+            TICK => self.on_tick(ctx),
+            JOIN => {
+                if self.lifecycle == Lifecycle::Joining {
+                    let join = self.cfg.join.clone().expect("joiner has join config");
+                    for c in &join.contacts {
+                        ctx.send(*c, Msg::JoinRequest { joiner: self.me });
+                    }
+                    ctx.set_timer(join.retry_every, JOIN);
+                }
+            }
+            OBSERVE => self.on_observe_tick(ctx),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Protocol messages of the full algorithm (§3, §4.5, §7.1).
+
+use gmp_sim::Message;
+use gmp_types::{NextEntry, Op, ProcessId, Ver};
+
+/// Messages exchanged by [`Member`](crate::Member) processes.
+///
+/// Version fields always name the view version the message is *about* (the
+/// version an invite proposes to install, the version a commit installs).
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Periodic life sign; carries the sender's faulty set when gossip (F2)
+    /// is enabled.
+    Heartbeat {
+        /// Processes the sender believes faulty (piggybacked gossip).
+        faulty: Vec<ProcessId>,
+    },
+    /// An outer process asks `Mgr` to start the exclusion algorithm for
+    /// `suspect` (§3.1: "it sends a message to Mgr, requesting that it
+    /// start the removal algorithm").
+    FaultyReport {
+        /// The perceived-faulty process.
+        suspect: ProcessId,
+    },
+    /// A process outside the group asks to be added (§7). Members forward
+    /// this to their `Mgr`.
+    JoinRequest {
+        /// The process that wants to join.
+        joiner: ProcessId,
+    },
+    /// Phase I of the update algorithm: `Invite(op(proc-id))` (Fig. 8).
+    Invite {
+        /// The proposed membership change.
+        op: Op,
+        /// The version the change would install (`ver(Mgr)+1`).
+        ver: Ver,
+    },
+    /// An outer process's `OK` response to an invitation or to the
+    /// contingent part of a commit (condensed rounds, §3.1).
+    UpdateOk {
+        /// The version being agreed to.
+        ver: Ver,
+    },
+    /// Phase II of the update algorithm:
+    /// `Commit(op(proc-id)) : Contingent(next-op(next-id) : Faulty : Recovered)`.
+    Commit {
+        /// The committed change.
+        op: Op,
+        /// The version this commit installs.
+        ver: Ver,
+        /// `Mgr`'s plan for the next change, doubling as the next
+        /// invitation under compression (`None` outside condensed rounds).
+        next: Option<Op>,
+        /// `Faulty(Mgr)`: contingent removals the receivers must regard as
+        /// faulty (F2 propagation).
+        faulty: Vec<ProcessId>,
+        /// `Recovered(Mgr)`: queued joiners.
+        recovered: Vec<ProcessId>,
+    },
+    /// Phase I of reconfiguration: the initiator's interrogation (§4.5).
+    Interrogate,
+    /// An outer process's Phase I response `OK(seq(p), next(p))`.
+    InterrogateOk {
+        /// Responder's local version.
+        ver: Ver,
+        /// Responder's committed operation sequence `seq(p)`.
+        seq: Vec<Op>,
+        /// Responder's expectation list `next(p)`.
+        next: Vec<NextEntry>,
+    },
+    /// Phase II of reconfiguration:
+    /// `Propose((RL_r : r : v) : (invis, Faulty(r)))`.
+    Propose {
+        /// The reconfiguration proposal `RL_r`.
+        rl: Vec<Op>,
+        /// The version `RL_r` installs.
+        ver: Ver,
+        /// The contingent plan the initiator will execute as the new `Mgr`.
+        invis: Vec<Op>,
+        /// `Faulty(r)`.
+        faulty: Vec<ProcessId>,
+    },
+    /// An outer process's Phase II `OK`.
+    ProposeOk {
+        /// The proposed version being acknowledged.
+        ver: Ver,
+    },
+    /// Phase III of reconfiguration:
+    /// `Commit(RL_r) : (invis, Faulty(r))`.
+    ReconfCommit {
+        /// The committed reconfiguration proposal.
+        rl: Vec<Op>,
+        /// The version installed.
+        ver: Ver,
+        /// Contingent plan (doubles as the first invitation of the new
+        /// `Mgr` under compression).
+        invis: Vec<Op>,
+        /// `Faulty(r)`.
+        faulty: Vec<ProcessId>,
+    },
+    /// State transfer to a newly added member (implementation addition; see
+    /// `DESIGN.md` substitutions).
+    Welcome {
+        /// Seniority-ordered membership of the current view.
+        members: Vec<ProcessId>,
+        /// Current version.
+        ver: Ver,
+        /// Committed operation sequence (so the joiner can serve future
+        /// interrogations).
+        seq: Vec<Op>,
+        /// The current coordinator.
+        mgr: ProcessId,
+    },
+    /// An external *observer* asks a member to stream view changes to it —
+    /// the hierarchical management service sketched in §8 ("by not
+    /// requiring processes to be members of their own local views").
+    Subscribe,
+    /// A view notification pushed to subscribed observers.
+    ViewUpdate {
+        /// Seniority-ordered membership.
+        members: Vec<ProcessId>,
+        /// The version of this view.
+        ver: Ver,
+        /// The sender's coordinator.
+        mgr: ProcessId,
+    },
+}
+
+impl Message for Msg {
+    fn tag(&self) -> &'static str {
+        match self {
+            Msg::Heartbeat { .. } => "heartbeat",
+            Msg::FaultyReport { .. } => "faulty-report",
+            Msg::JoinRequest { .. } => "join-request",
+            Msg::Invite { .. } => "invite",
+            Msg::UpdateOk { .. } => "update-ok",
+            Msg::Commit { .. } => "commit",
+            Msg::Interrogate => "interrogate",
+            Msg::InterrogateOk { .. } => "interrogate-ok",
+            Msg::Propose { .. } => "propose",
+            Msg::ProposeOk { .. } => "propose-ok",
+            Msg::ReconfCommit { .. } => "reconf-commit",
+            Msg::Welcome { .. } => "welcome",
+            Msg::Subscribe => "subscribe",
+            Msg::ViewUpdate { .. } => "view-update",
+        }
+    }
+}
+
+/// Tags counted by the §7.2 message-complexity experiments: the update and
+/// reconfiguration protocol proper, excluding heartbeats, suspicion reports,
+/// join requests and state transfer (see `EXPERIMENTS.md`).
+pub const PROTOCOL_TAGS: [&str; 8] = [
+    "invite",
+    "update-ok",
+    "commit",
+    "interrogate",
+    "interrogate-ok",
+    "propose",
+    "propose-ok",
+    "reconf-commit",
+];
+
+/// True when `tag` belongs to the §7.2 counting convention.
+pub fn is_protocol_tag(tag: &str) -> bool {
+    PROTOCOL_TAGS.contains(&tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_stable_and_counted_correctly() {
+        assert_eq!(Msg::Interrogate.tag(), "interrogate");
+        assert_eq!(Msg::Heartbeat { faulty: vec![] }.tag(), "heartbeat");
+        assert!(is_protocol_tag("invite"));
+        assert!(is_protocol_tag("reconf-commit"));
+        assert!(!is_protocol_tag("heartbeat"));
+        assert!(!is_protocol_tag("welcome"));
+        assert!(!is_protocol_tag("faulty-report"));
+    }
+}

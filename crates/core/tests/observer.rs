@@ -1,0 +1,105 @@
+//! The §8 hierarchical management service: observers track the agreed
+//! membership without being members.
+
+use gmp_core::{ClusterBuilder, Config, Lifecycle, ObserveConfig};
+use gmp_sim::Builder;
+use gmp_types::ProcessId;
+
+fn observed_cluster(
+    n: usize,
+    seed: u64,
+    contacts: Vec<ProcessId>,
+) -> gmp_sim::Sim<gmp_core::Msg, gmp_core::Member> {
+    ClusterBuilder::new(n, Config::default())
+        .observer(ObserveConfig::new(200, contacts))
+        .sim(Builder::new().seed(seed))
+        .build()
+}
+
+#[test]
+fn observer_receives_initial_snapshot() {
+    let mut sim = observed_cluster(4, 1, vec![ProcessId(1)]);
+    sim.run_until(2_000);
+    let obs = sim.node(ProcessId(4));
+    assert!(obs.is_observer());
+    assert!(matches!(obs.lifecycle(), Lifecycle::Observing));
+    let (view, ver, mgr) = obs.observed_view().expect("snapshot arrived");
+    assert_eq!(ver, 0);
+    assert_eq!(view.len(), 4);
+    assert_eq!(mgr, ProcessId(0));
+}
+
+#[test]
+fn observer_sees_every_membership_change() {
+    let mut sim = observed_cluster(5, 2, vec![ProcessId(1)]);
+    sim.crash_at(ProcessId(4), 800);
+    sim.crash_at(ProcessId(3), 2_500);
+    sim.run_until(12_000);
+    let obs = sim.node(ProcessId(5));
+    let (view, ver, _) = obs.observed_view().expect("updates arrived");
+    assert_eq!(ver, 2, "both exclusions observed");
+    assert!(!view.contains(ProcessId(4)));
+    assert!(!view.contains(ProcessId(3)));
+    // The observed view equals the members' agreed view.
+    assert_eq!(view, sim.node(ProcessId(0)).view());
+}
+
+#[test]
+fn observer_fails_over_when_contact_dies() {
+    // The observer's only configured contact crashes; the observed
+    // membership extends the fail-over list, so it resubscribes elsewhere.
+    let mut sim = observed_cluster(5, 3, vec![ProcessId(2)]);
+    sim.crash_at(ProcessId(2), 1_500);
+    sim.crash_at(ProcessId(4), 4_000); // a change after the fail-over
+    sim.run_until(20_000);
+    let obs = sim.node(ProcessId(5));
+    let (view, ver, _) = obs.observed_view().expect("still receiving");
+    assert_eq!(ver, 2, "the post-failover change was observed");
+    assert!(!view.contains(ProcessId(2)));
+    assert!(!view.contains(ProcessId(4)));
+}
+
+#[test]
+fn observer_survives_coordinator_change() {
+    let mut sim = observed_cluster(5, 4, vec![ProcessId(3)]);
+    sim.crash_at(ProcessId(0), 1_000); // Mgr dies; reconfiguration
+    sim.run_until(15_000);
+    let obs = sim.node(ProcessId(5));
+    let (view, ver, mgr) = obs.observed_view().expect("updates arrived");
+    assert_eq!(ver, 1);
+    assert!(!view.contains(ProcessId(0)));
+    assert_eq!(mgr, ProcessId(1), "the successor is reported as coordinator");
+}
+
+#[test]
+fn observer_is_never_a_member() {
+    let mut sim = observed_cluster(4, 5, vec![ProcessId(1)]);
+    sim.crash_at(ProcessId(3), 800);
+    sim.run_until(10_000);
+    let obs_id = ProcessId(4);
+    for p in sim.living() {
+        if p != obs_id {
+            assert!(
+                !sim.node(p).view().contains(obs_id),
+                "observer must never appear in a member view"
+            );
+        }
+    }
+    // And the GMP properties are computed over members only.
+    gmp_props::check_all(sim.trace()).assert_ok();
+}
+
+#[test]
+fn multiple_observers_converge_on_the_same_history() {
+    let mut sim = ClusterBuilder::new(5, Config::default())
+        .observer(ObserveConfig::new(200, vec![ProcessId(1)]))
+        .observer(ObserveConfig::new(250, vec![ProcessId(3)]))
+        .sim(Builder::new().seed(6))
+        .build();
+    sim.crash_at(ProcessId(4), 900);
+    sim.run_until(12_000);
+    let a = sim.node(ProcessId(5)).observed_view().expect("observer a");
+    let b = sim.node(ProcessId(6)).observed_view().expect("observer b");
+    assert_eq!(a.0, b.0, "observers agree on membership");
+    assert_eq!(a.1, b.1, "observers agree on version");
+}

@@ -1,0 +1,67 @@
+use gmp_core::cluster;
+use gmp_types::ProcessId;
+
+#[test]
+fn mgr_crash_triggers_reconfiguration() {
+    let mut sim = cluster(5, 11);
+    sim.crash_at(ProcessId(0), 500); // the initial Mgr
+    sim.run_until(10_000);
+    for p in sim.living() {
+        let m = sim.node(p);
+        assert_eq!(m.mgr(), ProcessId(1), "p1 should take over at {p}");
+        assert!(!m.view().contains(ProcessId(0)), "{p} still has p0: {}", m.view());
+        assert_eq!(m.ver(), 1, "{p}");
+    }
+    assert_eq!(sim.living().len(), 4);
+}
+
+#[test]
+fn mgr_crash_mid_commit_repaired() {
+    // Figure 3: Mgr dies after delivering the commit to exactly one member.
+    let mut sim = cluster(5, 13);
+    sim.crash_at(ProcessId(4), 400);
+    sim.crash_after_sends_at(ProcessId(0), 0, Some("commit"), 1);
+    sim.run_until(20_000);
+    let living = sim.living();
+    assert!(living.len() >= 3, "living: {living:?}");
+    let v0 = sim.node(living[0]).view().clone();
+    for &p in &living {
+        assert_eq!(sim.node(p).view(), &v0, "views diverge at {p}");
+        assert!(!sim.node(p).view().contains(ProcessId(0)));
+        assert!(!sim.node(p).view().contains(ProcessId(4)));
+    }
+}
+
+#[test]
+fn cascade_of_failures() {
+    let mut sim = cluster(7, 17);
+    sim.crash_at(ProcessId(0), 500);
+    sim.crash_at(ProcessId(1), 900);
+    sim.crash_at(ProcessId(3), 1300);
+    sim.run_until(30_000);
+    let living = sim.living();
+    assert_eq!(living.len(), 4, "living: {living:?}");
+    for &p in &living {
+        let m = sim.node(p);
+        assert_eq!(m.view().len(), 4, "{p}: {}", m.view());
+        assert_eq!(m.mgr(), ProcessId(2));
+    }
+}
+
+#[test]
+fn join_is_processed() {
+    use gmp_core::{ClusterBuilder, Config, JoinConfig};
+    use gmp_sim::Builder;
+    let mut sim = ClusterBuilder::new(4, Config::default())
+        .sim(Builder::new().seed(23))
+        .joiner(JoinConfig::new(500, vec![ProcessId(1)]))
+        .build();
+    sim.run_until(10_000);
+    let joiner = ProcessId(4);
+    for p in sim.living() {
+        let m = sim.node(p);
+        assert!(m.view().contains(joiner), "{p} lacks joiner: {}", m.view());
+        assert_eq!(m.ver(), 1);
+    }
+    assert!(matches!(sim.node(joiner).lifecycle(), gmp_core::Lifecycle::Active));
+}

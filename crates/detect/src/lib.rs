@@ -1,0 +1,257 @@
+//! Failure-detection substrate (§2.2 of the paper).
+//!
+//! Accurate crash detection is impossible in an asynchronous system; at best
+//! a process can *suspect* another. The paper treats detections as input
+//! events `faulty_p(q)` from two sources:
+//!
+//! * **F1 (Observation)** — a local mechanism (here: a timeout on hearing
+//!   from the peer) decides in finite time after a real crash;
+//! * **F2 (Gossip)** — learning of a suspicion from a message sent by a
+//!   process that already held it.
+//!
+//! and imposes the isolation rule
+//!
+//! * **S1** — once `p` believes `q` faulty, `p` never receives a message
+//!   from `q` again.
+//!
+//! This crate provides the timeout-based observer ([`HeartbeatDetector`],
+//! F1, with injectable suspicions to model the *spurious* detections §2.2
+//! discusses) and the monotone inbound filter ([`Isolation`], S1). Gossip
+//! (F2) is a protocol concern and lives in `gmp-core`, which piggybacks
+//! faulty sets on protocol messages.
+
+use gmp_types::ProcessId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Timeout-based failure observer (source F1).
+///
+/// The detector is driven explicitly: the owner reports life signs with
+/// [`heard_from`](HeartbeatDetector::heard_from) and polls
+/// [`tick`](HeartbeatDetector::tick) from a periodic timer. Any received
+/// message counts as a life sign, not just heartbeats — which matches the
+/// paper's reading of "time" as a mere tool for suspecting crashes.
+#[derive(Clone, Debug)]
+pub struct HeartbeatDetector {
+    suspect_after: u64,
+    last_heard: BTreeMap<ProcessId, u64>,
+    suspects: BTreeSet<ProcessId>,
+}
+
+impl HeartbeatDetector {
+    /// A detector that suspects a tracked peer after `suspect_after` ticks
+    /// of silence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suspect_after` is zero.
+    pub fn new(suspect_after: u64) -> Self {
+        assert!(suspect_after > 0, "suspect_after must be positive");
+        HeartbeatDetector { suspect_after, last_heard: BTreeMap::new(), suspects: BTreeSet::new() }
+    }
+
+    /// The configured silence threshold.
+    pub fn suspect_after(&self) -> u64 {
+        self.suspect_after
+    }
+
+    /// Starts monitoring `p`, treating `now` as the last life sign (a grace
+    /// period equal to the full timeout).
+    pub fn track(&mut self, p: ProcessId, now: u64) {
+        if !self.suspects.contains(&p) {
+            self.last_heard.entry(p).or_insert(now);
+        }
+    }
+
+    /// Stops monitoring `p` (e.g. it was removed from the view). Its
+    /// suspicion status is forgotten as well: if the same id were tracked
+    /// again it would start fresh — which cannot happen in the model, where
+    /// process instances never return.
+    pub fn forget(&mut self, p: ProcessId) {
+        self.last_heard.remove(&p);
+        self.suspects.remove(&p);
+    }
+
+    /// Records a life sign from `p`. Ignored once `p` is suspected (by S1
+    /// the owner will not receive from `p` again, so un-suspecting is
+    /// meaningless) and ignored for *untracked* peers: the detector
+    /// monitors exactly the membership the owner registered via
+    /// [`track`](HeartbeatDetector::track) — a message from a stranger
+    /// (e.g. a joiner whose admission has not committed here yet) must not
+    /// silently enroll it for suspicion.
+    pub fn heard_from(&mut self, p: ProcessId, now: u64) {
+        if self.suspects.contains(&p) {
+            return;
+        }
+        if let Some(t) = self.last_heard.get_mut(&p) {
+            *t = (*t).max(now);
+        }
+    }
+
+    /// Marks `p` suspected regardless of timing (gossip, inference, or test
+    /// injection). Returns `true` if this is a new suspicion.
+    pub fn suspect(&mut self, p: ProcessId) -> bool {
+        self.last_heard.remove(&p);
+        self.suspects.insert(p)
+    }
+
+    /// Whether `p` is currently suspected.
+    pub fn is_suspect(&self, p: ProcessId) -> bool {
+        self.suspects.contains(&p)
+    }
+
+    /// Evaluates timeouts at time `now`, returning the peers newly suspected
+    /// by observation (F1). They are also recorded as suspects.
+    pub fn tick(&mut self, now: u64) -> Vec<ProcessId> {
+        let expired: Vec<ProcessId> = self
+            .last_heard
+            .iter()
+            .filter(|(_, &t)| now.saturating_sub(t) >= self.suspect_after)
+            .map(|(&p, _)| p)
+            .collect();
+        for &p in &expired {
+            self.last_heard.remove(&p);
+            self.suspects.insert(p);
+        }
+        expired
+    }
+
+    /// Iterator over currently tracked (unsuspected) peers.
+    pub fn tracked(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.last_heard.keys().copied()
+    }
+
+    /// Iterator over all current suspects.
+    pub fn suspects(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.suspects.iter().copied()
+    }
+}
+
+/// The monotone isolation filter of system property S1.
+///
+/// "Once a process `p` believes another, `q`, to be faulty, `p` never
+/// receives messages from `q` again" — including after `q`'s removal from
+/// the view, and forever (process instances are never reused).
+#[derive(Clone, Debug, Default)]
+pub struct Isolation {
+    set: BTreeSet<ProcessId>,
+}
+
+impl Isolation {
+    /// An empty filter.
+    pub fn new() -> Self {
+        Isolation::default()
+    }
+
+    /// Adds `q` to the isolated set. Returns `true` if newly isolated.
+    pub fn isolate(&mut self, q: ProcessId) -> bool {
+        self.set.insert(q)
+    }
+
+    /// Whether messages from `q` must be discarded.
+    pub fn is_isolated(&self, q: ProcessId) -> bool {
+        self.set.contains(&q)
+    }
+
+    /// Iterator over isolated processes.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.set.iter().copied()
+    }
+
+    /// Number of isolated processes.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when nothing is isolated yet.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P1: ProcessId = ProcessId(1);
+    const P2: ProcessId = ProcessId(2);
+
+    #[test]
+    fn timeout_suspects_silent_peer() {
+        let mut d = HeartbeatDetector::new(100);
+        d.track(P1, 0);
+        d.track(P2, 0);
+        assert!(d.tick(50).is_empty());
+        d.heard_from(P1, 60);
+        let suspected = d.tick(100);
+        assert_eq!(suspected, vec![P2]);
+        assert!(d.is_suspect(P2));
+        assert!(!d.is_suspect(P1));
+        // P1 expires later.
+        assert_eq!(d.tick(160), vec![P1]);
+    }
+
+    #[test]
+    fn life_signs_do_not_move_backwards() {
+        let mut d = HeartbeatDetector::new(100);
+        d.track(P1, 50);
+        d.heard_from(P1, 40); // stale information must not shorten the lease
+        assert!(d.tick(149).is_empty());
+        assert_eq!(d.tick(150), vec![P1]);
+    }
+
+    #[test]
+    fn strangers_are_not_enrolled_by_their_messages() {
+        let mut d = HeartbeatDetector::new(100);
+        d.heard_from(P2, 10); // never tracked: must not be monitored
+        assert!(d.tick(10_000).is_empty());
+        assert!(!d.is_suspect(P2));
+    }
+
+    #[test]
+    fn suspicion_is_sticky() {
+        let mut d = HeartbeatDetector::new(10);
+        d.track(P1, 0);
+        assert!(d.suspect(P1));
+        assert!(!d.suspect(P1));
+        d.heard_from(P1, 5); // S1: ignored once suspected
+        assert!(d.is_suspect(P1));
+        assert!(d.tracked().next().is_none());
+    }
+
+    #[test]
+    fn forget_removes_all_state() {
+        let mut d = HeartbeatDetector::new(10);
+        d.track(P1, 0);
+        d.suspect(P1);
+        d.forget(P1);
+        assert!(!d.is_suspect(P1));
+        assert!(d.tick(1_000).is_empty());
+    }
+
+    #[test]
+    fn tracking_a_suspect_is_a_no_op() {
+        let mut d = HeartbeatDetector::new(10);
+        d.suspect(P1);
+        d.track(P1, 0);
+        assert!(d.tracked().next().is_none());
+        assert!(d.is_suspect(P1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_timeout_rejected() {
+        let _ = HeartbeatDetector::new(0);
+    }
+
+    #[test]
+    fn isolation_is_monotone() {
+        let mut iso = Isolation::new();
+        assert!(iso.is_empty());
+        assert!(iso.isolate(P1));
+        assert!(!iso.isolate(P1));
+        assert!(iso.is_isolated(P1));
+        assert!(!iso.is_isolated(P2));
+        assert_eq!(iso.len(), 1);
+        assert_eq!(iso.iter().collect::<Vec<_>>(), vec![P1]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Go-back-N sliding-window ARQ: a windowed generalization of the
+//! alternating-bit construction, trading bandwidth for latency while
+//! preserving the same reliable-FIFO guarantee.
+
+use std::collections::VecDeque;
+
+/// A data frame carrying a full sequence number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GbnFrame<T> {
+    /// Sequence number of this payload (0-based, monotone).
+    pub seq: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+/// A cumulative acknowledgement: everything below `next` has arrived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GbnAck {
+    /// The receiver's next expected sequence number.
+    pub next: u64,
+}
+
+/// Sender half of go-back-N.
+#[derive(Debug)]
+pub struct GbnSender<T> {
+    window: usize,
+    base: u64,
+    next_seq: u64,
+    buffer: VecDeque<(u64, T)>,
+    backlog: VecDeque<T>,
+}
+
+impl<T: Clone> GbnSender<T> {
+    /// A sender with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        GbnSender { window, base: 0, next_seq: 0, buffer: VecDeque::new(), backlog: VecDeque::new() }
+    }
+
+    /// Queues a payload; returns the frame to transmit now if the window
+    /// has room.
+    pub fn send(&mut self, payload: T) -> Option<GbnFrame<T>> {
+        if (self.next_seq - self.base) < self.window as u64 {
+            let frame = GbnFrame { seq: self.next_seq, payload: payload.clone() };
+            self.buffer.push_back((self.next_seq, payload));
+            self.next_seq += 1;
+            Some(frame)
+        } else {
+            self.backlog.push_back(payload);
+            None
+        }
+    }
+
+    /// Handles a cumulative ack; returns any new frames the freed window
+    /// admits.
+    pub fn on_ack(&mut self, ack: GbnAck) -> Vec<GbnFrame<T>> {
+        if ack.next <= self.base {
+            return Vec::new(); // stale
+        }
+        while self.base < ack.next {
+            self.buffer.pop_front();
+            self.base += 1;
+        }
+        let mut out = Vec::new();
+        while (self.next_seq - self.base) < self.window as u64 {
+            let Some(p) = self.backlog.pop_front() else { break };
+            out.push(GbnFrame { seq: self.next_seq, payload: p.clone() });
+            self.buffer.push_back((self.next_seq, p));
+            self.next_seq += 1;
+        }
+        out
+    }
+
+    /// Retransmits the whole outstanding window (call on timeout).
+    pub fn on_timeout(&self) -> Vec<GbnFrame<T>> {
+        self.buffer
+            .iter()
+            .map(|(seq, p)| GbnFrame { seq: *seq, payload: p.clone() })
+            .collect()
+    }
+
+    /// True when nothing is queued or outstanding.
+    pub fn is_idle(&self) -> bool {
+        self.buffer.is_empty() && self.backlog.is_empty()
+    }
+}
+
+/// Receiver half of go-back-N: accepts exactly the next expected frame.
+#[derive(Debug, Default)]
+pub struct GbnReceiver {
+    next: u64,
+}
+
+impl GbnReceiver {
+    /// A fresh receiver expecting sequence number 0.
+    pub fn new() -> Self {
+        GbnReceiver { next: 0 }
+    }
+
+    /// Handles a frame: in-order payloads are delivered; everything is
+    /// (re-)acked cumulatively.
+    pub fn on_frame<T>(&mut self, frame: GbnFrame<T>) -> (Option<T>, GbnAck) {
+        if frame.seq == self.next {
+            self.next += 1;
+            (Some(frame.payload), GbnAck { next: self.next })
+        } else {
+            (None, GbnAck { next: self.next })
+        }
+    }
+}
+
+/// Runs a windowed exchange over adversarial channels (see
+/// `alternating_bit::run_exchange` for the driving pattern).
+pub fn run_exchange<T: Clone + PartialEq>(
+    payloads: &[T],
+    window: usize,
+    data_channel: &mut crate::raw::RawChannel<GbnFrame<T>>,
+    ack_channel: &mut crate::raw::RawChannel<GbnAck>,
+    max_steps: usize,
+) -> Vec<T> {
+    let mut tx = GbnSender::new(window);
+    let mut rx = GbnReceiver::new();
+    let mut delivered = Vec::new();
+    let mut pending: VecDeque<T> = payloads.iter().cloned().collect();
+
+    for step in 0..max_steps {
+        if tx.is_idle() && pending.is_empty() {
+            break;
+        }
+        if let Some(p) = pending.pop_front() {
+            if let Some(f) = tx.send(p) {
+                data_channel.push(f);
+            }
+        }
+        if let Some(frame) = data_channel.pop() {
+            let (deliver, ack) = rx.on_frame(frame);
+            if let Some(p) = deliver {
+                delivered.push(p);
+            }
+            ack_channel.push(ack);
+        }
+        if let Some(ack) = ack_channel.pop() {
+            for f in tx.on_ack(ack) {
+                data_channel.push(f);
+            }
+        }
+        // Timeout retransmission only once the line has gone quiet, so the
+        // in-flight queue stays bounded.
+        let quiet = data_channel.in_flight() == 0 && ack_channel.in_flight() == 0;
+        if quiet || step % 64 == 63 {
+            for f in tx.on_timeout() {
+                data_channel.push(f);
+            }
+        }
+    }
+    delivered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::{RawChannel, RawConfig};
+
+    #[test]
+    fn in_order_delivery_over_reliable_channel() {
+        let payloads: Vec<u32> = (0..200).collect();
+        let mut data = RawChannel::reliable(1);
+        let mut ack = RawChannel::reliable(2);
+        let got = run_exchange(&payloads, 8, &mut data, &mut ack, 100_000);
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn exact_sequence_under_loss_reorder_duplication() {
+        let payloads: Vec<u32> = (0..150).collect();
+        let cfg = RawConfig { loss: 0.25, duplicate: 0.15, reorder: 0.3 };
+        let mut data = RawChannel::new(cfg, 5);
+        let mut ack = RawChannel::new(cfg, 6);
+        let got = run_exchange(&payloads, 8, &mut data, &mut ack, 2_000_000);
+        assert_eq!(got, payloads, "go-back-N must deliver the exact sequence");
+    }
+
+    #[test]
+    fn window_limits_outstanding_frames() {
+        let mut tx: GbnSender<u8> = GbnSender::new(2);
+        assert!(tx.send(1).is_some());
+        assert!(tx.send(2).is_some());
+        assert!(tx.send(3).is_none(), "window full: backlogged");
+        let freed = tx.on_ack(GbnAck { next: 1 });
+        assert_eq!(freed.len(), 1, "ack frees room for one backlogged frame");
+        assert_eq!(freed[0].seq, 2);
+    }
+
+    #[test]
+    fn receiver_rejects_out_of_order() {
+        let mut rx = GbnReceiver::new();
+        let (d, a) = rx.on_frame(GbnFrame { seq: 3, payload: 9u8 });
+        assert_eq!(d, None);
+        assert_eq!(a.next, 0, "cumulative ack re-asserts expectation");
+    }
+
+    #[test]
+    fn stale_acks_ignored() {
+        let mut tx: GbnSender<u8> = GbnSender::new(4);
+        tx.send(1);
+        tx.send(2);
+        assert!(tx.on_ack(GbnAck { next: 2 }).is_empty());
+        assert!(tx.on_ack(GbnAck { next: 1 }).is_empty(), "stale ack is a no-op");
+        assert!(tx.on_ack(GbnAck { next: 0 }).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = GbnSender::<u8>::new(0);
+    }
+}

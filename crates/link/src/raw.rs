@@ -1,0 +1,122 @@
+//! An unreliable raw channel model: loses, reorders and duplicates frames.
+//!
+//! This is the adversarial substrate the reliable-link constructions are
+//! verified against. It is deliberately simple and synchronous (a pull
+//! model): protocol state machines are driven by test harnesses and
+//! property tests rather than the event simulator, which keeps the
+//! link-layer proofs-by-testing self-contained.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Configuration of the adversarial channel.
+#[derive(Clone, Copy, Debug)]
+pub struct RawConfig {
+    /// Probability a frame is dropped in transit.
+    pub loss: f64,
+    /// Probability a delivered frame is duplicated.
+    pub duplicate: f64,
+    /// Probability two queued frames are swapped on delivery.
+    pub reorder: f64,
+}
+
+impl Default for RawConfig {
+    fn default() -> Self {
+        RawConfig { loss: 0.2, duplicate: 0.1, reorder: 0.2 }
+    }
+}
+
+/// An unreliable unidirectional channel carrying frames of type `F`.
+#[derive(Debug)]
+pub struct RawChannel<F> {
+    cfg: RawConfig,
+    rng: SmallRng,
+    queue: VecDeque<F>,
+}
+
+impl<F: Clone> RawChannel<F> {
+    /// A channel with the given fault rates and deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1)`.
+    pub fn new(cfg: RawConfig, seed: u64) -> Self {
+        for p in [cfg.loss, cfg.duplicate, cfg.reorder] {
+            assert!((0.0..1.0).contains(&p), "probabilities must be in [0, 1)");
+        }
+        RawChannel { cfg, rng: SmallRng::seed_from_u64(seed), queue: VecDeque::new() }
+    }
+
+    /// A perfectly reliable, ordered channel (for control experiments).
+    pub fn reliable(seed: u64) -> Self {
+        RawChannel::new(RawConfig { loss: 0.0, duplicate: 0.0, reorder: 0.0 }, seed)
+    }
+
+    /// Offers a frame to the channel; it may be lost or duplicated.
+    pub fn push(&mut self, frame: F) {
+        if self.rng.gen_bool(self.cfg.loss) {
+            return; // lost
+        }
+        self.queue.push_back(frame.clone());
+        if self.cfg.duplicate > 0.0 && self.rng.gen_bool(self.cfg.duplicate) {
+            self.queue.push_back(frame);
+        }
+        if self.queue.len() >= 2 && self.cfg.reorder > 0.0 && self.rng.gen_bool(self.cfg.reorder) {
+            let a = self.rng.gen_range(0..self.queue.len());
+            let b = self.rng.gen_range(0..self.queue.len());
+            self.queue.swap(a, b);
+        }
+    }
+
+    /// Takes the next frame off the wire, if any.
+    pub fn pop(&mut self) -> Option<F> {
+        self.queue.pop_front()
+    }
+
+    /// Number of frames currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_channel_is_fifo() {
+        let mut ch = RawChannel::reliable(1);
+        for i in 0..10 {
+            ch.push(i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| ch.pop()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lossy_channel_drops_frames() {
+        let mut ch = RawChannel::new(RawConfig { loss: 0.5, duplicate: 0.0, reorder: 0.0 }, 2);
+        for i in 0..1000 {
+            ch.push(i);
+        }
+        let n = ch.in_flight();
+        assert!(n < 700, "expected significant loss, {n} arrived");
+        assert!(n > 300, "loss rate implausibly high: {n}");
+    }
+
+    #[test]
+    fn duplicating_channel_duplicates() {
+        let mut ch = RawChannel::new(RawConfig { loss: 0.0, duplicate: 0.5, reorder: 0.0 }, 3);
+        for i in 0..1000 {
+            ch.push(i);
+        }
+        assert!(ch.in_flight() > 1200);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn invalid_probability_rejected() {
+        let _ = RawChannel::<u8>::new(RawConfig { loss: 1.5, duplicate: 0.0, reorder: 0.0 }, 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! The "no messages from future views" rule (§3): messages tagged with a
+//! view number greater than the receiver's are delayed until that view is
+//! installed locally.
+//!
+//! `gmp-core` embeds this behaviour directly in its member state machine;
+//! this standalone implementation exists so the mechanism can be tested in
+//! isolation and reused by other protocols.
+
+use gmp_types::Ver;
+use std::collections::BTreeMap;
+
+/// A buffer holding messages from future views until they become current.
+#[derive(Clone, Debug)]
+pub struct ViewBuffer<M> {
+    current: Ver,
+    held: BTreeMap<Ver, Vec<M>>,
+}
+
+impl<M> ViewBuffer<M> {
+    /// A buffer for a process currently in view `current`.
+    pub fn new(current: Ver) -> Self {
+        ViewBuffer { current, held: BTreeMap::new() }
+    }
+
+    /// The view the owner currently has installed.
+    pub fn current(&self) -> Ver {
+        self.current
+    }
+
+    /// Offers a message tagged with `ver`:
+    ///
+    /// * `ver <= current` — returned immediately (deliverable now; the
+    ///   caller decides whether old-view messages are still meaningful);
+    /// * `ver > current` — buffered, `None` returned.
+    pub fn offer(&mut self, ver: Ver, msg: M) -> Option<M> {
+        if ver <= self.current {
+            Some(msg)
+        } else {
+            self.held.entry(ver).or_default().push(msg);
+            None
+        }
+    }
+
+    /// Advances to a newly installed view, releasing every message tagged
+    /// with a view `<= ver`, in tag order then arrival order.
+    pub fn install(&mut self, ver: Ver) -> Vec<M> {
+        assert!(ver >= self.current, "views are installed in order");
+        self.current = ver;
+        let mut released = Vec::new();
+        let ready: Vec<Ver> = self.held.range(..=ver).map(|(v, _)| *v).collect();
+        for v in ready {
+            released.extend(self.held.remove(&v).unwrap_or_default());
+        }
+        released
+    }
+
+    /// Number of messages waiting for future views.
+    pub fn pending(&self) -> usize {
+        self.held.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_and_past_views_pass_through() {
+        let mut buf = ViewBuffer::new(3);
+        assert_eq!(buf.offer(3, "now"), Some("now"));
+        assert_eq!(buf.offer(1, "old"), Some("old"));
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn future_views_are_held_until_install() {
+        let mut buf = ViewBuffer::new(0);
+        assert_eq!(buf.offer(2, "b"), None);
+        assert_eq!(buf.offer(1, "a"), None);
+        assert_eq!(buf.pending(), 2);
+        assert_eq!(buf.install(1), vec!["a"]);
+        assert_eq!(buf.pending(), 1);
+        assert_eq!(buf.install(2), vec!["b"]);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn install_releases_in_view_order() {
+        let mut buf = ViewBuffer::new(0);
+        buf.offer(3, "z");
+        buf.offer(2, "y1");
+        buf.offer(2, "y2");
+        assert_eq!(buf.install(3), vec!["y1", "y2", "z"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn views_cannot_go_backwards() {
+        let mut buf: ViewBuffer<u8> = ViewBuffer::new(5);
+        let _ = buf.install(4);
+    }
+}

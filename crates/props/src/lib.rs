@@ -1,0 +1,43 @@
+//! Machine-checkable form of the paper's Group Membership Problem
+//! specification (§2.3), evaluated over recorded simulation runs.
+//!
+//! The paper defines GMP by six clauses:
+//!
+//! | clause | informal reading | checker |
+//! |--------|------------------|---------|
+//! | GMP-0  | the initial system view exists | [`checks::check_gmp0`] |
+//! | GMP-1  | no capricious removals: `q ∉ Memb(p) ⇒ faulty_p(q)` | [`checks::check_gmp1`] |
+//! | GMP-2  | a unique sequence of system views | [`checks::check_gmp2`] |
+//! | GMP-3  | all processes see the same sequence of local views | [`checks::check_gmp3`] |
+//! | GMP-4  | no re-instatement into local views | [`checks::check_gmp4`] |
+//! | GMP-5  | every suspicion eventually removes suspect or believer | [`checks::check_gmp5`] |
+//!
+//! plus the "1-copy behaviour" convergence reading
+//! ([`checks::check_convergence`]). Safety clauses hold on any prefix of a
+//! run; the liveness clauses (GMP-5, convergence) are asserted on quiescent
+//! runs.
+//!
+//! The [`epistemic`] module implements the appendix's knowledge analysis
+//! (Equation 4 hindsight and the `(E◇̄)^y` ladder) using causal cones over
+//! the vector-clock-stamped trace.
+//!
+//! # Example
+//!
+//! ```
+//! use gmp_core::cluster;
+//! use gmp_props::check_all;
+//! use gmp_types::ProcessId;
+//!
+//! let mut sim = cluster(5, 3);
+//! sim.crash_at(ProcessId(3), 400);
+//! sim.run_until(10_000);
+//! check_all(sim.trace()).assert_ok();
+//! ```
+
+pub mod analysis;
+pub mod checks;
+pub mod epistemic;
+
+pub use analysis::{analyze, FaultyRecord, OpRecord, RunAnalysis, ViewRecord};
+pub use checks::{check_all, check_convergence, check_safety, Report, Violation};
+pub use epistemic::{check_hindsight, hindsight_holds, knowledge_ladder, render_ladder};

@@ -1,0 +1,940 @@
+//! The discrete-event engine: deterministic scheduling, fault injection,
+//! causal stamping.
+
+use crate::net::{BlockMode, NetState};
+use crate::node::{Action, Ctx, Message, Node, TimerId};
+use crate::stats::Stats;
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::Time;
+use gmp_causality::{LamportClock, VectorClock};
+use gmp_types::ProcessId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Liveness status of a simulated process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Operational.
+    Up,
+    /// Crashed by fault injection (`quit_p` in the model).
+    Crashed,
+    /// Executed `quit` itself (excluded or lost a majority).
+    Quit,
+}
+
+impl NodeStatus {
+    /// True when the process can still execute events.
+    pub fn is_up(self) -> bool {
+        self == NodeStatus::Up
+    }
+}
+
+/// Configures and builds a [`Sim`].
+///
+/// ```
+/// # use gmp_sim::Builder;
+/// let builder = Builder::new().seed(42).delay(1, 20);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Builder {
+    delay_min: Time,
+    delay_max: Time,
+    seed: u64,
+    fifo: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder { delay_min: 1, delay_max: 10, seed: 0, fifo: true }
+    }
+}
+
+impl Builder {
+    /// A builder with default delays (1..=10 ticks), seed 0, FIFO links.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Message delay range in ticks (inclusive); delays are sampled
+    /// uniformly and independently per message.
+    pub fn delay(mut self, min: Time, max: Time) -> Self {
+        self.delay_min = min;
+        self.delay_max = max;
+        self
+    }
+
+    /// Seed for all randomness in the run. Equal seeds give identical runs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether per-link FIFO delivery order is enforced (the model requires
+    /// it; disable only to exercise the `gmp-link` FIFO construction).
+    pub fn fifo(mut self, fifo: bool) -> Self {
+        self.fifo = fifo;
+        self
+    }
+
+    /// Builds an empty simulator; add nodes with [`Sim::add_node`].
+    pub fn build<M: Message, N: Node<M>>(self) -> Sim<M, N> {
+        Sim {
+            slots: Vec::new(),
+            queue: BinaryHeap::new(),
+            held: HashMap::new(),
+            net: NetState::new(self.delay_min, self.delay_max, self.fifo),
+            rng: SmallRng::seed_from_u64(self.seed),
+            time: 0,
+            seq: 0,
+            msg_counter: 0,
+            timer_counter: 0,
+            cancelled: HashSet::new(),
+            crash_after: HashMap::new(),
+            trace: Trace::default(),
+            stats: Stats::default(),
+            started: false,
+        }
+    }
+}
+
+struct Slot<N> {
+    node: Option<N>,
+    status: NodeStatus,
+    vc: VectorClock,
+    lamport: LamportClock,
+}
+
+#[derive(Clone, Debug)]
+struct InFlight<M> {
+    from: ProcessId,
+    to: ProcessId,
+    msg: M,
+    msg_id: u64,
+    tag: &'static str,
+    send_vc: VectorClock,
+    send_lamport: u64,
+}
+
+enum QKind<M> {
+    Deliver(InFlight<M>),
+    Timer { pid: ProcessId, id: TimerId, tag: u64 },
+    Crash { pid: ProcessId },
+    Control(Control),
+}
+
+#[derive(Clone, Debug)]
+enum Control {
+    Partition(Vec<usize>),
+    Heal,
+    Block { from: ProcessId, to: ProcessId, mode: BlockMode },
+    Unblock { from: ProcessId, to: ProcessId },
+    SetDelay { from: ProcessId, to: ProcessId, range: Option<(Time, Time)> },
+    CrashAfterSends { pid: ProcessId, tag: Option<&'static str>, remaining: u32 },
+}
+
+struct Queued<M> {
+    time: Time,
+    seq: u64,
+    kind: QKind<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+enum Trigger<M> {
+    Start,
+    Recv { from: ProcessId, msg: M, msg_id: u64, tag: &'static str, send_vc: VectorClock, send_lamport: u64 },
+    Timer { tag: u64 },
+}
+
+/// The deterministic simulator. See the crate docs for an example.
+pub struct Sim<M: Message, N: Node<M>> {
+    slots: Vec<Slot<N>>,
+    queue: BinaryHeap<Reverse<Queued<M>>>,
+    /// Held messages per directed link, in send order.
+    held: HashMap<(u32, u32), Vec<InFlight<M>>>,
+    net: NetState,
+    rng: SmallRng,
+    time: Time,
+    seq: u64,
+    msg_counter: u64,
+    timer_counter: u64,
+    cancelled: HashSet<u64>,
+    /// pid -> (optional tag filter, sends remaining before crash)
+    crash_after: HashMap<u32, (Option<&'static str>, u32)>,
+    trace: Trace,
+    stats: Stats,
+    started: bool,
+}
+
+impl<M: Message, N: Node<M>> Sim<M, N> {
+    /// Registers a process. Must be called before the first `run_until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn add_node(&mut self, node: N) -> ProcessId {
+        assert!(!self.started, "cannot add nodes after the simulation started");
+        let pid = ProcessId(self.slots.len() as u32);
+        self.slots.push(Slot {
+            node: Some(node),
+            status: NodeStatus::Up,
+            vc: VectorClock::new(0),
+            lamport: LamportClock::new(),
+        });
+        pid
+    }
+
+    /// Number of processes in the run.
+    pub fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    /// The recorded run so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Message counters so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Liveness status of a process.
+    pub fn status(&self, pid: ProcessId) -> NodeStatus {
+        self.slots[pid.index()].status
+    }
+
+    /// Processes that are still up.
+    pub fn living(&self) -> Vec<ProcessId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.status.is_up())
+            .map(|(i, _)| ProcessId(i as u32))
+            .collect()
+    }
+
+    /// Immutable access to a node's protocol state (for assertions).
+    pub fn node(&self, pid: ProcessId) -> &N {
+        self.slots[pid.index()].node.as_ref().expect("node is present outside dispatch")
+    }
+
+    /// Mutable access to a node's protocol state (test setup only).
+    pub fn node_mut(&mut self, pid: ProcessId) -> &mut N {
+        self.slots[pid.index()].node.as_mut().expect("node is present outside dispatch")
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn enqueue(&mut self, time: Time, kind: QKind<M>) {
+        let seq = self.next_seq();
+        self.queue.push(Reverse(Queued { time, seq, kind }));
+    }
+
+    /// Schedules a crash (`quit_p`) at the given time.
+    pub fn crash_at(&mut self, pid: ProcessId, at: Time) {
+        self.enqueue(at, QKind::Crash { pid });
+    }
+
+    /// From time `at` on, lets `pid` perform `sends` more message sends
+    /// (optionally counting only messages whose tag equals `tag`) and then
+    /// crashes it *immediately after the matching send* — i.e. possibly in
+    /// the middle of a broadcast, as in Figure 3.
+    pub fn crash_after_sends_at(
+        &mut self,
+        pid: ProcessId,
+        at: Time,
+        tag: Option<&'static str>,
+        sends: u32,
+    ) {
+        self.enqueue(at, QKind::Control(Control::CrashAfterSends { pid, tag, remaining: sends }));
+    }
+
+    /// Blocks the directed link `from -> to` starting at `at`.
+    pub fn block_link_at(&mut self, from: ProcessId, to: ProcessId, mode: BlockMode, at: Time) {
+        self.enqueue(at, QKind::Control(Control::Block { from, to, mode }));
+    }
+
+    /// Unblocks the directed link `from -> to` at `at`; held messages are
+    /// then delivered (with fresh delays, preserving FIFO order).
+    pub fn unblock_link_at(&mut self, from: ProcessId, to: ProcessId, at: Time) {
+        self.enqueue(at, QKind::Control(Control::Unblock { from, to }));
+    }
+
+    /// Partitions the processes into the given groups at time `at`.
+    /// Cross-partition messages are held (unbounded delay), not lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at application time) if a process appears in no group.
+    pub fn partition_at(&mut self, groups: &[&[ProcessId]], at: Time) {
+        let mut assignment = vec![usize::MAX; self.slots.len()];
+        for (g, members) in groups.iter().enumerate() {
+            for p in *members {
+                assignment[p.index()] = g;
+            }
+        }
+        assert!(
+            assignment.iter().all(|&g| g != usize::MAX),
+            "every process must appear in exactly one partition group"
+        );
+        self.enqueue(at, QKind::Control(Control::Partition(assignment)));
+    }
+
+    /// Heals any partition at time `at`, releasing held messages.
+    pub fn heal_at(&mut self, at: Time) {
+        self.enqueue(at, QKind::Control(Control::Heal));
+    }
+
+    /// Overrides the delay range of the directed link `from -> to` at `at`
+    /// (`None` restores the default). Used to model degraded links that
+    /// trigger spurious failure detection (§2.2).
+    pub fn set_link_delay_at(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        range: Option<(Time, Time)>,
+        at: Time,
+    ) {
+        self.enqueue(at, QKind::Control(Control::SetDelay { from, to, range }));
+    }
+
+    /// Runs the simulation, processing every event with `time <= until`.
+    pub fn run_until(&mut self, until: Time) {
+        if !self.started {
+            self.start();
+        }
+        while let Some(Reverse(top)) = self.queue.peek() {
+            if top.time > until {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event exists");
+            self.dispatch(ev);
+        }
+        self.time = self.time.max(until);
+    }
+
+    fn start(&mut self) {
+        assert!(!self.slots.is_empty(), "simulation needs at least one node");
+        self.started = true;
+        let n = self.slots.len();
+        self.trace = Trace::new(n);
+        for slot in &mut self.slots {
+            slot.vc = VectorClock::new(n);
+        }
+        // Apply fault-injection and link controls scheduled at time 0 before
+        // any process takes a step, so experiments can shape the run from
+        // the very first event (e.g. arm a mid-broadcast crash for a
+        // broadcast performed in `on_start`).
+        let mut deferred = Vec::new();
+        while let Some(Reverse(top)) = self.queue.peek() {
+            if top.time > 0 {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event exists");
+            match ev.kind {
+                QKind::Control(_) | QKind::Crash { .. } => self.dispatch(ev),
+                _ => deferred.push(ev),
+            }
+        }
+        for ev in deferred {
+            self.queue.push(Reverse(ev));
+        }
+        for i in 0..n {
+            self.invoke(ProcessId(i as u32), Trigger::Start);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Queued<M>) {
+        self.time = ev.time;
+        match ev.kind {
+            QKind::Deliver(inf) => self.deliver(inf),
+            QKind::Timer { pid, id, tag } => {
+                if self.cancelled.remove(&id.0) {
+                    return;
+                }
+                if !self.slots[pid.index()].status.is_up() {
+                    return;
+                }
+                self.invoke(pid, Trigger::Timer { tag });
+            }
+            QKind::Crash { pid } => {
+                if self.slots[pid.index()].status.is_up() {
+                    self.record_lifecycle(pid, TraceKind::Crash);
+                    self.slots[pid.index()].status = NodeStatus::Crashed;
+                }
+            }
+            QKind::Control(c) => self.apply_control(c),
+        }
+    }
+
+    fn deliver(&mut self, inf: InFlight<M>) {
+        if !self.slots[inf.to.index()].status.is_up() {
+            self.stats.dropped_dead_receiver += 1;
+            return;
+        }
+        // The link state is consulted at delivery time, so a block installed
+        // after the send still catches in-flight messages.
+        match self.net.fate(inf.from, inf.to) {
+            Some(BlockMode::Hold) => {
+                self.stats.held += 1;
+                self.held.entry((inf.from.0, inf.to.0)).or_default().push(inf);
+                return;
+            }
+            Some(BlockMode::Drop) => {
+                self.stats.dropped_link += 1;
+                return;
+            }
+            None => {}
+        }
+        self.stats.record_delivery(inf.tag);
+        let InFlight { from, to, msg, msg_id, tag, send_vc, send_lamport } = inf;
+        self.invoke(to, Trigger::Recv { from, msg, msg_id, tag, send_vc, send_lamport });
+    }
+
+    fn apply_control(&mut self, c: Control) {
+        match c {
+            Control::Partition(groups) => self.net.set_partition(Some(groups)),
+            Control::Heal => {
+                self.net.set_partition(None);
+                self.release_unblocked();
+            }
+            Control::Block { from, to, mode } => self.net.block(from, to, mode),
+            Control::Unblock { from, to } => {
+                self.net.unblock(from, to);
+                self.release_unblocked();
+            }
+            Control::SetDelay { from, to, range } => self.net.set_delay_override(from, to, range),
+            Control::CrashAfterSends { pid, tag, remaining } => {
+                if remaining == 0 {
+                    self.crash_at(pid, self.time);
+                } else {
+                    self.crash_after.insert(pid.0, (tag, remaining));
+                }
+            }
+        }
+    }
+
+    /// Reschedules held messages for every link that is no longer blocked.
+    fn release_unblocked(&mut self) {
+        let links: Vec<(u32, u32)> = self.held.keys().copied().collect();
+        for (f, t) in links {
+            if self.net.fate(ProcessId(f), ProcessId(t)).is_none() {
+                let msgs = self.held.remove(&(f, t)).unwrap_or_default();
+                for inf in msgs {
+                    self.stats.held = self.stats.held.saturating_sub(1);
+                    let at = self.net.schedule(&mut self.rng, self.time, inf.from, inf.to);
+                    self.enqueue(at, QKind::Deliver(inf));
+                }
+            }
+        }
+    }
+
+    /// Records a crash/quit lifecycle event with proper stamping.
+    fn record_lifecycle(&mut self, pid: ProcessId, kind: TraceKind) {
+        let slot = &mut self.slots[pid.index()];
+        slot.vc.tick(pid.index());
+        let lamport = slot.lamport.tick();
+        self.trace.events.push(TraceEvent {
+            time: self.time,
+            pid,
+            lamport,
+            vc: slot.vc.clone(),
+            kind,
+        });
+    }
+
+    fn invoke(&mut self, pid: ProcessId, trigger: Trigger<M>) {
+        let idx = pid.index();
+        if !self.slots[idx].status.is_up() {
+            return;
+        }
+        // Stamp and record the triggering event, then run the handler.
+        let (call, pre_event): (HandlerCall, TraceKind) = match trigger {
+            Trigger::Start => (HandlerCall::Start, TraceKind::Start),
+            Trigger::Recv { from, msg, msg_id, tag, send_vc, send_lamport } => {
+                let slot = &mut self.slots[idx];
+                slot.vc.observe(&send_vc);
+                slot.lamport.merge(send_lamport);
+                // merge() already ticked lamport; only vc needs its tick.
+                slot.vc.tick(idx);
+                let kind = TraceKind::Recv { from, msg_id, tag };
+                self.trace.events.push(TraceEvent {
+                    time: self.time,
+                    pid,
+                    lamport: slot.lamport.value(),
+                    vc: slot.vc.clone(),
+                    kind: kind.clone(),
+                });
+                let mut node = self.slots[idx].node.take().expect("node present");
+                let mut ctx = Ctx {
+                    pid,
+                    now: self.time,
+                    actions: Vec::new(),
+                    rng: &mut self.rng,
+                    timer_counter: &mut self.timer_counter,
+                };
+                node.on_message(&mut ctx, from, msg);
+                let actions = std::mem::take(&mut ctx.actions);
+                self.slots[idx].node = Some(node);
+                self.apply_actions(pid, actions);
+                return;
+            }
+            Trigger::Timer { tag } => (HandlerCall::Timer(tag), TraceKind::Timer { tag }),
+        };
+        {
+            let slot = &mut self.slots[idx];
+            slot.vc.tick(idx);
+            let lamport = slot.lamport.tick();
+            self.trace.events.push(TraceEvent {
+                time: self.time,
+                pid,
+                lamport,
+                vc: slot.vc.clone(),
+                kind: pre_event,
+            });
+        }
+        let mut node = self.slots[idx].node.take().expect("node present");
+        let mut ctx = Ctx {
+            pid,
+            now: self.time,
+            actions: Vec::new(),
+            rng: &mut self.rng,
+            timer_counter: &mut self.timer_counter,
+        };
+        match call {
+            HandlerCall::Start => node.on_start(&mut ctx),
+            HandlerCall::Timer(tag) => node.on_timer(&mut ctx, tag),
+        }
+        let actions = std::mem::take(&mut ctx.actions);
+        self.slots[idx].node = Some(node);
+        self.apply_actions(pid, actions);
+    }
+
+    fn apply_actions(&mut self, pid: ProcessId, actions: Vec<Action<M>>) {
+        let idx = pid.index();
+        for action in actions {
+            if !self.slots[idx].status.is_up() {
+                break; // quit/crash mid-handler: remaining effects are lost
+            }
+            match action {
+                Action::Send { to, msg } => {
+                    assert!(to.index() < self.slots.len(), "send to unknown process {to}");
+                    let tag = msg.tag();
+                    self.msg_counter += 1;
+                    let msg_id = self.msg_counter;
+                    {
+                        let slot = &mut self.slots[idx];
+                        slot.vc.tick(idx);
+                        let lamport = slot.lamport.tick();
+                        self.trace.events.push(TraceEvent {
+                            time: self.time,
+                            pid,
+                            lamport,
+                            vc: slot.vc.clone(),
+                            kind: TraceKind::Send { to, msg_id, tag },
+                        });
+                    }
+                    self.stats.record_send(tag);
+                    let inf = InFlight {
+                        from: pid,
+                        to,
+                        msg,
+                        msg_id,
+                        tag,
+                        send_vc: self.slots[idx].vc.clone(),
+                        send_lamport: self.slots[idx].lamport.value(),
+                    };
+                    match self.net.fate(pid, to) {
+                        Some(BlockMode::Hold) => {
+                            self.stats.held += 1;
+                            self.held.entry((pid.0, to.0)).or_default().push(inf);
+                        }
+                        Some(BlockMode::Drop) => {
+                            self.stats.dropped_link += 1;
+                        }
+                        None => {
+                            let at = self.net.schedule(&mut self.rng, self.time, pid, to);
+                            self.enqueue(at, QKind::Deliver(inf));
+                        }
+                    }
+                    // Mid-broadcast crash bookkeeping (Figure 3).
+                    if let Some((filter, remaining)) = self.crash_after.get_mut(&pid.0) {
+                        let counts = filter.map(|f| f == tag).unwrap_or(true);
+                        if counts {
+                            *remaining -= 1;
+                            if *remaining == 0 {
+                                self.crash_after.remove(&pid.0);
+                                self.record_lifecycle(pid, TraceKind::Crash);
+                                self.slots[idx].status = NodeStatus::Crashed;
+                            }
+                        }
+                    }
+                }
+                Action::SetTimer { id, delay, tag } => {
+                    self.enqueue(self.time + delay, QKind::Timer { pid, id, tag });
+                }
+                Action::CancelTimer { id } => {
+                    self.cancelled.insert(id.0);
+                }
+                Action::Note(note) => {
+                    let slot = &self.slots[idx];
+                    self.trace.events.push(TraceEvent {
+                        time: self.time,
+                        pid,
+                        lamport: slot.lamport.value(),
+                        vc: slot.vc.clone(),
+                        kind: TraceKind::Note(note),
+                    });
+                }
+                Action::Quit => {
+                    self.record_lifecycle(pid, TraceKind::Quit);
+                    self.slots[idx].status = NodeStatus::Quit;
+                }
+            }
+        }
+    }
+}
+
+enum HandlerCall {
+    Start,
+    Timer(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmp_types::Note;
+
+    #[derive(Clone, Debug)]
+    enum TMsg {
+        Ping(u32),
+        Pong(#[allow(dead_code)] u32),
+    }
+    impl Message for TMsg {
+        fn tag(&self) -> &'static str {
+            match self {
+                TMsg::Ping(_) => "ping",
+                TMsg::Pong(_) => "pong",
+            }
+        }
+    }
+
+    /// Node 0 pings everyone at start; everyone pongs back; node 0 counts.
+    struct PingPong {
+        n: u32,
+        pongs: u32,
+    }
+
+    impl Node<TMsg> for PingPong {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TMsg>) {
+            if ctx.id() == ProcessId(0) {
+                let all = (0..self.n).map(ProcessId);
+                ctx.broadcast(all, TMsg::Ping(0));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TMsg>, from: ProcessId, msg: TMsg) {
+            match msg {
+                TMsg::Ping(x) => ctx.send(from, TMsg::Pong(x)),
+                TMsg::Pong(_) => {
+                    self.pongs += 1;
+                    ctx.note(Note::Custom(format!("pong #{}", self.pongs)));
+                }
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, TMsg>, _tag: u64) {}
+    }
+
+    fn build(n: u32, seed: u64) -> Sim<TMsg, PingPong> {
+        let mut sim = Builder::new().seed(seed).build();
+        for _ in 0..n {
+            sim.add_node(PingPong { n, pongs: 0 });
+        }
+        sim
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let mut sim = build(4, 1);
+        sim.run_until(1_000);
+        assert_eq!(sim.node(ProcessId(0)).pongs, 3);
+        assert_eq!(sim.stats().sends("ping"), 3);
+        assert_eq!(sim.stats().sends("pong"), 3);
+        assert_eq!(sim.stats().delivered("pong"), 3);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_traces() {
+        let mut a = build(5, 9);
+        let mut b = build(5, 9);
+        a.run_until(500);
+        b.run_until(500);
+        let ta: Vec<_> = a.trace().events.iter().map(|e| (e.time, e.pid, format!("{:?}", e.kind))).collect();
+        let tb: Vec<_> = b.trace().events.iter().map(|e| (e.time, e.pid, format!("{:?}", e.kind))).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let mut a = build(5, 1);
+        let mut b = build(5, 2);
+        a.run_until(500);
+        b.run_until(500);
+        let ta: Vec<_> = a.trace().events.iter().map(|e| e.time).collect();
+        let tb: Vec<_> = b.trace().events.iter().map(|e| e.time).collect();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing() {
+        let mut sim = build(3, 3);
+        sim.crash_at(ProcessId(1), 1); // before any delivery (delays >= 1)
+        sim.run_until(1_000);
+        assert_eq!(sim.status(ProcessId(1)), NodeStatus::Crashed);
+        // p1 never ponged.
+        assert_eq!(sim.node(ProcessId(0)).pongs, 1);
+        assert_eq!(sim.stats().dropped_dead_receiver, 1);
+        assert_eq!(sim.living(), vec![ProcessId(0), ProcessId(2)]);
+    }
+
+    #[test]
+    fn crash_after_sends_cuts_broadcast_short() {
+        // Node 0 broadcasts 4 pings; crash it after the second ping send.
+        let mut sim = build(5, 4);
+        sim.crash_after_sends_at(ProcessId(0), 0, Some("ping"), 2);
+        sim.run_until(1_000);
+        assert_eq!(sim.stats().sends("ping"), 2, "broadcast must be cut short");
+        assert_eq!(sim.status(ProcessId(0)), NodeStatus::Crashed);
+    }
+
+    #[test]
+    fn blocked_link_holds_and_releases() {
+        let mut sim = build(2, 5);
+        sim.block_link_at(ProcessId(0), ProcessId(1), BlockMode::Hold, 0);
+        sim.unblock_link_at(ProcessId(0), ProcessId(1), 500);
+        sim.run_until(400);
+        assert_eq!(sim.stats().delivered("ping"), 0);
+        sim.run_until(1_000);
+        assert_eq!(sim.stats().delivered("ping"), 1);
+        assert_eq!(sim.node(ProcessId(0)).pongs, 1);
+    }
+
+    #[test]
+    fn partition_holds_cross_traffic() {
+        let mut sim = build(4, 6);
+        sim.partition_at(&[&[ProcessId(0), ProcessId(1)], &[ProcessId(2), ProcessId(3)]], 0);
+        sim.run_until(500);
+        // Only p1's pong crossed (p2, p3 unreachable).
+        assert_eq!(sim.node(ProcessId(0)).pongs, 1);
+        sim.heal_at(501);
+        sim.run_until(2_000);
+        assert_eq!(sim.node(ProcessId(0)).pongs, 3);
+    }
+
+    #[test]
+    fn fifo_order_is_respected() {
+        // With FIFO on, pings sent in a burst over one link arrive in order.
+        #[derive(Clone, Debug)]
+        struct Seq(u32);
+        impl Message for Seq {
+            fn tag(&self) -> &'static str {
+                "seq"
+            }
+        }
+        struct Sender;
+        struct Receiver {
+            got: Vec<u32>,
+        }
+        enum Either {
+            S(Sender),
+            R(Receiver),
+        }
+        impl Node<Seq> for Either {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Seq>) {
+                if let Either::S(_) = self {
+                    for i in 0..50 {
+                        ctx.send(ProcessId(1), Seq(i));
+                    }
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Seq>, _from: ProcessId, msg: Seq) {
+                if let Either::R(r) = self {
+                    r.got.push(msg.0);
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_, Seq>, _tag: u64) {}
+        }
+        let mut sim: Sim<Seq, Either> = Builder::new().seed(11).delay(1, 100).build();
+        sim.add_node(Either::S(Sender));
+        sim.add_node(Either::R(Receiver { got: Vec::new() }));
+        sim.run_until(10_000);
+        if let Either::R(r) = sim.node(ProcessId(1)) {
+            assert_eq!(r.got, (0..50).collect::<Vec<_>>());
+        } else {
+            panic!("node 1 is the receiver");
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct T {
+            fired: Vec<u64>,
+        }
+        #[derive(Clone, Debug)]
+        struct Never;
+        impl Message for Never {
+            fn tag(&self) -> &'static str {
+                "never"
+            }
+        }
+        impl Node<Never> for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Never>) {
+                ctx.set_timer(10, 1);
+                let id = ctx.set_timer(20, 2);
+                ctx.cancel_timer(id);
+                ctx.set_timer(30, 3);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Never>, _: ProcessId, _: Never) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_, Never>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim: Sim<Never, T> = Builder::new().build();
+        sim.add_node(T { fired: Vec::new() });
+        sim.run_until(100);
+        assert_eq!(sim.node(ProcessId(0)).fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn vector_clocks_capture_message_causality() {
+        let mut sim = build(2, 8);
+        sim.run_until(1_000);
+        let log = sim.trace().to_event_log();
+        // Find the ping send at p0 and its reception at p1.
+        let send_idx = sim
+            .trace()
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, TraceKind::Send { tag: "ping", .. }))
+            .expect("ping sent");
+        let recv_idx = sim
+            .trace()
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, TraceKind::Recv { tag: "ping", .. }))
+            .expect("ping received");
+        assert!(log.happens_before(send_idx, recv_idx));
+        assert!(!log.happens_before(recv_idx, send_idx));
+    }
+}
+
+#[cfg(test)]
+mod release_tests {
+    use super::*;
+    use crate::net::BlockMode;
+
+    #[derive(Clone, Debug)]
+    struct Num(u32);
+    impl Message for Num {
+        fn tag(&self) -> &'static str {
+            "num"
+        }
+    }
+
+    struct Burst {
+        got: Vec<u32>,
+    }
+    impl Node<Num> for Burst {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Num>) {
+            if ctx.id() == ProcessId(0) {
+                for i in 0..30 {
+                    ctx.send(ProcessId(1), Num(i));
+                }
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Num>, _: ProcessId, m: Num) {
+            self.got.push(m.0);
+        }
+        fn on_timer(&mut self, _: &mut Ctx<'_, Num>, _: u64) {}
+    }
+
+    fn two_nodes(seed: u64) -> Sim<Num, Burst> {
+        let mut sim = Builder::new().seed(seed).delay(1, 30).build();
+        sim.add_node(Burst { got: Vec::new() });
+        sim.add_node(Burst { got: Vec::new() });
+        sim
+    }
+
+    /// Messages held on a blocked link are released in FIFO order.
+    #[test]
+    fn held_messages_release_in_order() {
+        let mut sim = two_nodes(3);
+        sim.block_link_at(ProcessId(0), ProcessId(1), BlockMode::Hold, 0);
+        sim.unblock_link_at(ProcessId(0), ProcessId(1), 2_000);
+        sim.run_until(10_000);
+        assert_eq!(sim.node(ProcessId(1)).got, (0..30).collect::<Vec<_>>());
+    }
+
+    /// A block installed mid-flight catches messages already scheduled.
+    #[test]
+    fn in_flight_messages_are_caught_by_late_block() {
+        let mut sim = two_nodes(4);
+        // Delays are 1..=30; block at t=1 catches everything still in
+        // flight (only deliveries scheduled at t<=1 escape).
+        sim.block_link_at(ProcessId(0), ProcessId(1), BlockMode::Hold, 1);
+        sim.run_until(5_000);
+        let early = sim.node(ProcessId(1)).got.len();
+        assert!(early < 30, "most of the burst must be held, got {early}");
+        sim.unblock_link_at(ProcessId(0), ProcessId(1), 6_000);
+        sim.run_until(12_000);
+        assert_eq!(sim.node(ProcessId(1)).got, (0..30).collect::<Vec<_>>());
+    }
+
+    /// Drop-mode blocks lose messages permanently (used only by the
+    /// baseline counter-example schedules).
+    #[test]
+    fn drop_mode_loses_messages() {
+        let mut sim = two_nodes(5);
+        sim.block_link_at(ProcessId(0), ProcessId(1), BlockMode::Drop, 0);
+        sim.unblock_link_at(ProcessId(0), ProcessId(1), 2_000);
+        sim.run_until(10_000);
+        assert!(sim.node(ProcessId(1)).got.is_empty());
+        assert_eq!(sim.stats().dropped_link, 30);
+    }
+
+    /// Healing a partition releases held traffic exactly once.
+    #[test]
+    fn heal_releases_exactly_once() {
+        let mut sim = two_nodes(6);
+        sim.partition_at(&[&[ProcessId(0)], &[ProcessId(1)]], 0);
+        sim.heal_at(1_000);
+        sim.run_until(10_000);
+        assert_eq!(sim.node(ProcessId(1)).got, (0..30).collect::<Vec<_>>());
+        assert_eq!(sim.stats().delivered("num"), 30);
+    }
+}

@@ -1,0 +1,177 @@
+//! The [`Node`] protocol trait and the effect context [`Ctx`] handed to it.
+
+use crate::Time;
+use gmp_types::{Note, ProcessId};
+use rand::rngs::SmallRng;
+
+/// A protocol message. `tag` names the message kind for trace recording and
+/// message-complexity accounting (the benchmarks count sends per tag).
+pub trait Message: Clone + std::fmt::Debug {
+    /// A short, stable name for this message kind (e.g. `"invite"`).
+    fn tag(&self) -> &'static str;
+}
+
+/// A deterministic protocol state machine driven by the simulator.
+///
+/// Handlers perform effects exclusively through [`Ctx`]; the simulator
+/// applies them in emission order after the handler returns, which keeps
+/// the run deterministic and lets a scheduled mid-broadcast crash cut a
+/// broadcast short exactly as in the paper's Figure 3.
+pub trait Node<M: Message> {
+    /// Called once at simulated time 0, in process-id order.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>);
+
+    /// Called when a message is delivered to this process.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: ProcessId, msg: M);
+
+    /// Called when a timer set through [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, tag: u64);
+}
+
+/// Identifier of a pending timer, used for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// An effect requested by a node handler.
+#[derive(Clone, Debug)]
+pub(crate) enum Action<M> {
+    Send { to: ProcessId, msg: M },
+    SetTimer { id: TimerId, delay: Time, tag: u64 },
+    CancelTimer { id: TimerId },
+    Note(Note),
+    Quit,
+}
+
+/// The effect context passed to every [`Node`] handler.
+///
+/// All interaction with the outside world — sending, timers, quitting,
+/// trace annotations, randomness — goes through this context so the
+/// simulator can record and order it deterministically.
+pub struct Ctx<'a, M> {
+    pub(crate) pid: ProcessId,
+    pub(crate) now: Time,
+    pub(crate) actions: Vec<Action<M>>,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) timer_counter: &'a mut u64,
+}
+
+impl<'a, M: Message> Ctx<'a, M> {
+    /// This process's identifier.
+    pub fn id(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Current simulated time. Protocols should treat this as opaque "local
+    /// clock" information only (timeouts), never as a global clock.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Sends `msg` to `to`. Channels are reliable and FIFO unless the
+    /// experiment has blocked the link or crashed the receiver.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// `Bcast(p, G, m)` (§3.1): sends `msg` to every process in `to` except
+    /// this one. Indivisible in the sense that no other handler of this
+    /// process runs in between, but *not* failure-atomic: a scheduled crash
+    /// can cut it short after any prefix of the sends.
+    pub fn broadcast<I>(&mut self, to: I, msg: M)
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        for p in to {
+            if p != self.pid {
+                self.send(p, msg.clone());
+            }
+        }
+    }
+
+    /// Arms a one-shot timer that fires after `delay` ticks, delivering
+    /// `tag` to [`Node::on_timer`]. Returns an id usable with
+    /// [`Ctx::cancel_timer`].
+    pub fn set_timer(&mut self, delay: Time, tag: u64) -> TimerId {
+        *self.timer_counter += 1;
+        let id = TimerId(*self.timer_counter);
+        self.actions.push(Action::SetTimer { id, delay, tag });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+
+    /// Records a semantic annotation into the trace (e.g. `faulty_p(q)`,
+    /// view installation). The GMP property checkers read these.
+    pub fn note(&mut self, note: Note) {
+        self.actions.push(Action::Note(note));
+    }
+
+    /// Executes the event `quit_p`: this process permanently ceases
+    /// communication (§2.1). Remaining queued effects of the current handler
+    /// are discarded.
+    pub fn quit(&mut self) {
+        self.actions.push(Action::Quit);
+    }
+
+    /// Deterministic, seeded randomness for protocol-level choices.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Debug)]
+    struct M0;
+    impl Message for M0 {
+        fn tag(&self) -> &'static str {
+            "m0"
+        }
+    }
+
+    #[test]
+    fn broadcast_skips_self() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut counter = 0;
+        let mut ctx: Ctx<'_, M0> = Ctx {
+            pid: ProcessId(1),
+            now: 0,
+            actions: Vec::new(),
+            rng: &mut rng,
+            timer_counter: &mut counter,
+        };
+        ctx.broadcast([ProcessId(0), ProcessId(1), ProcessId(2)], M0);
+        let targets: Vec<ProcessId> = ctx
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![ProcessId(0), ProcessId(2)]);
+    }
+
+    #[test]
+    fn timer_ids_are_unique() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut counter = 0;
+        let mut ctx: Ctx<'_, M0> = Ctx {
+            pid: ProcessId(0),
+            now: 0,
+            actions: Vec::new(),
+            rng: &mut rng,
+            timer_counter: &mut counter,
+        };
+        let a = ctx.set_timer(5, 1);
+        let b = ctx.set_timer(5, 1);
+        assert_ne!(a, b);
+    }
+}

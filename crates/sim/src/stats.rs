@@ -1,0 +1,81 @@
+//! Message accounting for complexity experiments (§7.2).
+
+use std::collections::BTreeMap;
+
+/// Counters over a run, keyed by message tag.
+///
+/// The benchmarks use these to regenerate the paper's message-complexity
+/// tables: a broadcast counts one message per receiver, a process never
+/// messages itself, and heartbeats / reports / state transfer are excluded
+/// by tag filtering (see `EXPERIMENTS.md` for the counting convention).
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    sends: BTreeMap<&'static str, u64>,
+    delivered: BTreeMap<&'static str, u64>,
+    /// Messages addressed to a crashed or quit process.
+    pub dropped_dead_receiver: u64,
+    /// Messages dropped by a severed link.
+    pub dropped_link: u64,
+    /// Messages currently held on blocked links or across partitions.
+    pub held: u64,
+}
+
+impl Stats {
+    pub(crate) fn record_send(&mut self, tag: &'static str) {
+        *self.sends.entry(tag).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_delivery(&mut self, tag: &'static str) {
+        *self.delivered.entry(tag).or_insert(0) += 1;
+    }
+
+    /// Number of messages sent with the given tag.
+    pub fn sends(&self, tag: &str) -> u64 {
+        self.sends.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Number of messages delivered with the given tag.
+    pub fn delivered(&self, tag: &str) -> u64 {
+        self.delivered.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Total messages sent across all tags.
+    pub fn sends_total(&self) -> u64 {
+        self.sends.values().sum()
+    }
+
+    /// Sum of send counts over tags accepted by `filter`.
+    pub fn sends_matching<F>(&self, mut filter: F) -> u64
+    where
+        F: FnMut(&str) -> bool,
+    {
+        self.sends.iter().filter(|(t, _)| filter(t)).map(|(_, c)| *c).sum()
+    }
+
+    /// All (tag, send-count) pairs, sorted by tag.
+    pub fn send_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.sends.iter().map(|(t, c)| (*t, *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let mut s = Stats::default();
+        s.record_send("a");
+        s.record_send("a");
+        s.record_send("b");
+        s.record_delivery("a");
+        assert_eq!(s.sends("a"), 2);
+        assert_eq!(s.sends("b"), 1);
+        assert_eq!(s.sends("c"), 0);
+        assert_eq!(s.delivered("a"), 1);
+        assert_eq!(s.sends_total(), 3);
+        assert_eq!(s.sends_matching(|t| t == "a"), 2);
+        let pairs: Vec<_> = s.send_counts().collect();
+        assert_eq!(pairs, vec![("a", 2), ("b", 1)]);
+    }
+}

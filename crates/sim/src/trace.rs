@@ -1,0 +1,170 @@
+//! Recorded runs: every event of every process history, causally stamped.
+
+use crate::Time;
+use gmp_causality::{EventLog, LoggedEvent, VectorClock};
+use gmp_types::{Note, ProcessId};
+
+/// What happened at one event of a process history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The unique initial event `start_p` (§2.1).
+    Start,
+    /// A message send `send(p, to, m)`.
+    Send {
+        /// Receiver.
+        to: ProcessId,
+        /// Unique id matching the corresponding `Recv`, if delivered.
+        msg_id: u64,
+        /// Message kind tag.
+        tag: &'static str,
+    },
+    /// A message reception `recv(from, p, m)`.
+    Recv {
+        /// Sender.
+        from: ProcessId,
+        /// Unique id matching the corresponding `Send`.
+        msg_id: u64,
+        /// Message kind tag.
+        tag: &'static str,
+    },
+    /// A local timer fired.
+    Timer {
+        /// The tag passed to `set_timer`.
+        tag: u64,
+    },
+    /// The crash event `quit_p` injected by the experiment (§2.1: crashes
+    /// are permanent; recovery is modeled as a new process instance).
+    Crash,
+    /// The process executed `quit` itself (excluded, or lost a majority).
+    Quit,
+    /// A semantic protocol annotation.
+    Note(Note),
+}
+
+/// One stamped event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub time: Time,
+    /// The process that executed the event.
+    pub pid: ProcessId,
+    /// Lamport timestamp.
+    pub lamport: u64,
+    /// Vector timestamp (dimension = number of processes in the run).
+    pub vc: VectorClock,
+    /// The event itself.
+    pub kind: TraceKind,
+}
+
+/// A recorded run: the n-tuple of process histories (§2.1), flattened in
+/// simulation order (which is a linearization consistent with
+/// happens-before).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Number of processes in the run.
+    pub n: usize,
+    /// All events, in simulation order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn new(n: usize) -> Self {
+        Trace { n, events: Vec::new() }
+    }
+
+    /// Iterator over all semantic notes, with their event metadata.
+    pub fn notes(&self) -> impl Iterator<Item = (&TraceEvent, &Note)> {
+        self.events.iter().filter_map(|e| match &e.kind {
+            TraceKind::Note(n) => Some((e, n)),
+            _ => None,
+        })
+    }
+
+    /// Iterator over the events of one process, in history order.
+    pub fn history(&self, pid: ProcessId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.pid == pid)
+    }
+
+    /// Converts the run into an [`EventLog`] for happens-before and
+    /// consistent-cut queries. Event indices in the log coincide with
+    /// indices into [`Trace::events`].
+    pub fn to_event_log(&self) -> EventLog {
+        let mut log = EventLog::new(self.n);
+        for ev in &self.events {
+            log.push(LoggedEvent { pid: ev.pid, vc: ev.vc.clone() });
+        }
+        log
+    }
+
+    /// Renders a human-readable timeline of selected events (used by the
+    /// figure-regeneration harness).
+    pub fn render<F>(&self, mut select: F) -> String
+    where
+        F: FnMut(&TraceEvent) -> bool,
+    {
+        let mut out = String::new();
+        for ev in self.events.iter().filter(|e| select(e)) {
+            let line = match &ev.kind {
+                TraceKind::Start => format!("t={:<6} {}  start", ev.time, ev.pid),
+                TraceKind::Send { to, tag, .. } => {
+                    format!("t={:<6} {}  send {} -> {}", ev.time, ev.pid, tag, to)
+                }
+                TraceKind::Recv { from, tag, .. } => {
+                    format!("t={:<6} {}  recv {} <- {}", ev.time, ev.pid, tag, from)
+                }
+                TraceKind::Timer { tag } => format!("t={:<6} {}  timer {}", ev.time, ev.pid, tag),
+                TraceKind::Crash => format!("t={:<6} {}  CRASH", ev.time, ev.pid),
+                TraceKind::Quit => format!("t={:<6} {}  QUIT", ev.time, ev.pid),
+                TraceKind::Note(n) => format!("t={:<6} {}  {}", ev.time, ev.pid, n),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pid: u32, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            time: 0,
+            pid: ProcessId(pid),
+            lamport: 1,
+            vc: VectorClock::new(2),
+            kind,
+        }
+    }
+
+    #[test]
+    fn notes_filtering() {
+        let mut t = Trace::new(2);
+        t.events.push(ev(0, TraceKind::Start));
+        t.events.push(ev(0, TraceKind::Note(Note::Custom("x".into()))));
+        t.events.push(ev(1, TraceKind::Start));
+        assert_eq!(t.notes().count(), 1);
+        assert_eq!(t.history(ProcessId(0)).count(), 2);
+    }
+
+    #[test]
+    fn render_selected() {
+        let mut t = Trace::new(1);
+        t.events.push(ev(0, TraceKind::Start));
+        t.events.push(ev(0, TraceKind::Send { to: ProcessId(1), msg_id: 1, tag: "x" }));
+        let s = t.render(|e| matches!(e.kind, TraceKind::Send { .. }));
+        assert!(s.contains("send x -> p1"));
+        assert!(!s.contains("start"));
+    }
+
+    #[test]
+    fn event_log_roundtrip() {
+        let mut t = Trace::new(2);
+        t.events.push(ev(0, TraceKind::Start));
+        t.events.push(ev(1, TraceKind::Start));
+        let log = t.to_event_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.processes(), 2);
+    }
+}

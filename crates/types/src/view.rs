@@ -1,0 +1,262 @@
+//! Seniority-ordered membership views and the rank function of §4.2.
+
+use crate::{majority_of, Op, OpKind, ProcessId};
+use std::fmt;
+
+/// A local membership view `Memb(p)`, ordered by *seniority*.
+///
+/// The paper bases process rank on "seniority with respect to duration in the
+/// system view" (§4.2, footnote 12): the longest-standing member — initially
+/// `Mgr` — has the highest rank `n`, the most recently added member has rank
+/// 1. Removing a member "increases the rank of all lower-ranked processes by
+/// one", which is automatic here because rank is derived from position.
+/// Joins append at the junior end.
+///
+/// Two views are equal iff they contain the same members in the same
+/// seniority order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct View {
+    members: Vec<ProcessId>,
+}
+
+impl View {
+    /// Creates a view from a seniority-ordered member list (most senior
+    /// first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` contains duplicates: a process is a member at
+    /// most once.
+    pub fn new(members: Vec<ProcessId>) -> Self {
+        for (i, m) in members.iter().enumerate() {
+            assert!(
+                !members[..i].contains(m),
+                "duplicate member {m} in view"
+            );
+        }
+        View { members }
+    }
+
+    /// The empty view (used by processes that have not yet joined).
+    pub fn empty() -> Self {
+        View { members: Vec::new() }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no process is a member.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.members.contains(&p)
+    }
+
+    /// Seniority position: 0 is the most senior member.
+    pub fn index_of(&self, p: ProcessId) -> Option<usize> {
+        self.members.iter().position(|&m| m == p)
+    }
+
+    /// The paper's rank: `rank(p) = n − index(p)`, so the most senior member
+    /// has rank `n` and the most junior rank 1 (§4.2). `None` if `p` is not
+    /// a member ("the rank of an excluded process is undefined").
+    pub fn rank(&self, p: ProcessId) -> Option<usize> {
+        self.index_of(p).map(|i| self.members.len() - i)
+    }
+
+    /// Members strictly senior to `p` (higher-ranked), most senior first.
+    ///
+    /// This is exactly the set whose perceived faultiness triggers `p` to
+    /// initiate reconfiguration, and the set every receiver of `p`'s
+    /// interrogation can infer as `HiFaulty(p)` (§4.5: "rank is commonly
+    /// known. Consequently, other processes can infer the contents of
+    /// HiFaulty(p)").
+    pub fn seniors_of(&self, p: ProcessId) -> &[ProcessId] {
+        match self.index_of(p) {
+            Some(i) => &self.members[..i],
+            None => &[],
+        }
+    }
+
+    /// The most senior member (the initial `Mgr`), if any.
+    pub fn most_senior(&self) -> Option<ProcessId> {
+        self.members.first().copied()
+    }
+
+    /// Majority cardinality `μ = ⌊n/2⌋ + 1` for this view (§4.3).
+    pub fn majority(&self) -> usize {
+        majority_of(self.members.len())
+    }
+
+    /// Iterator over members in seniority order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// The members as a slice, most senior first.
+    pub fn as_slice(&self) -> &[ProcessId] {
+        &self.members
+    }
+
+    /// Owned copy of the member list in seniority order.
+    pub fn to_vec(&self) -> Vec<ProcessId> {
+        self.members.clone()
+    }
+
+    /// Removes a member, preserving the relative seniority of the rest.
+    /// Returns whether `p` was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        match self.index_of(p) {
+            Some(i) => {
+                self.members.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Adds a member at the junior end (rank 1). Returns `false` (and leaves
+    /// the view unchanged) if `p` is already a member.
+    pub fn push_junior(&mut self, p: ProcessId) -> bool {
+        if self.contains(p) {
+            return false;
+        }
+        self.members.push(p);
+        true
+    }
+
+    /// Applies a membership operation. Returns whether the view changed.
+    pub fn apply(&mut self, op: Op) -> bool {
+        match op.kind {
+            OpKind::Remove => self.remove(op.target),
+            OpKind::Add => self.push_junior(op.target),
+        }
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ProcessId> for View {
+    fn from_iter<T: IntoIterator<Item = ProcessId>>(iter: T) -> Self {
+        View::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a View {
+    type Item = ProcessId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ProcessId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u32]) -> View {
+        View::new(ids.iter().map(|&i| ProcessId(i)).collect())
+    }
+
+    #[test]
+    fn rank_matches_paper_convention() {
+        // "in the x-th system view, rank(Mgr) = |Sys^x|, and rank(p) = 1 if p
+        // is the lowest-ranked process" (§4.2).
+        let view = v(&[0, 1, 2, 3]);
+        assert_eq!(view.rank(ProcessId(0)), Some(4));
+        assert_eq!(view.rank(ProcessId(3)), Some(1));
+        assert_eq!(view.rank(ProcessId(9)), None);
+    }
+
+    #[test]
+    fn removal_shifts_ranks_up() {
+        // "Whenever a process is removed from a view, the ranks of all
+        // lower-ranked processes are increased by one" (§4.2).
+        let mut view = v(&[0, 1, 2, 3]);
+        let before = view.rank(ProcessId(3)).unwrap();
+        assert!(view.remove(ProcessId(1)));
+        assert_eq!(view.rank(ProcessId(3)).unwrap(), before); // 1 -> still junior-most
+        assert_eq!(view.rank(ProcessId(2)), Some(2));
+        assert_eq!(view.rank(ProcessId(0)), Some(3));
+        assert!(!view.remove(ProcessId(1)));
+    }
+
+    #[test]
+    fn relative_rank_is_stable_while_co_members() {
+        // "while p and q are in the same system views, their ranking relative
+        // to each other will not change" (§4.2).
+        let mut view = v(&[0, 1, 2, 3, 4]);
+        let ordered = |view: &View, a, b| view.rank(a).unwrap() > view.rank(b).unwrap();
+        assert!(ordered(&view, ProcessId(1), ProcessId(3)));
+        view.remove(ProcessId(0));
+        view.remove(ProcessId(2));
+        view.push_junior(ProcessId(9));
+        assert!(ordered(&view, ProcessId(1), ProcessId(3)));
+    }
+
+    #[test]
+    fn joins_are_junior_most() {
+        let mut view = v(&[0, 1]);
+        assert!(view.push_junior(ProcessId(5)));
+        assert_eq!(view.rank(ProcessId(5)), Some(1));
+        assert!(!view.push_junior(ProcessId(5)));
+        assert_eq!(view.len(), 3);
+    }
+
+    #[test]
+    fn seniors_of_is_hifaulty_inference() {
+        let view = v(&[0, 1, 2, 3]);
+        assert_eq!(view.seniors_of(ProcessId(2)), &[ProcessId(0), ProcessId(1)]);
+        assert_eq!(view.seniors_of(ProcessId(0)), &[] as &[ProcessId]);
+        assert_eq!(view.seniors_of(ProcessId(9)), &[] as &[ProcessId]);
+    }
+
+    #[test]
+    fn apply_ops() {
+        let mut view = v(&[0, 1, 2]);
+        assert!(view.apply(Op::remove(ProcessId(1))));
+        assert!(view.apply(Op::add(ProcessId(7))));
+        assert_eq!(view.as_slice(), &[ProcessId(0), ProcessId(2), ProcessId(7)]);
+        assert!(!view.apply(Op::remove(ProcessId(1))));
+    }
+
+    #[test]
+    fn majority_examples() {
+        assert_eq!(v(&[0, 1, 2]).majority(), 2);
+        assert_eq!(v(&[0, 1, 2, 3]).majority(), 3);
+        assert_eq!(v(&[0]).majority(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate member")]
+    fn duplicate_members_rejected() {
+        let _ = v(&[0, 1, 0]);
+    }
+
+    #[test]
+    fn display_and_iteration() {
+        let view = v(&[2, 0]);
+        assert_eq!(view.to_string(), "{p2, p0}");
+        let collected: Vec<_> = view.iter().collect();
+        assert_eq!(collected, vec![ProcessId(2), ProcessId(0)]);
+        let rebuilt: View = view.iter().collect();
+        assert_eq!(rebuilt, view);
+    }
+}

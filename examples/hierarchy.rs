@@ -1,0 +1,60 @@
+//! The §8 extension: a hierarchical management service.
+//!
+//! ```text
+//! cargo run --example hierarchy
+//! ```
+//!
+//! "By not requiring processes to be members of their own local views, we
+//! can create a hierarchical management service" (§8). Here two external
+//! *observers* — think dashboards, or clients of the service — subscribe
+//! to the group's view stream. They see every agreed membership change
+//! without participating in the agreement, and they survive both ordinary
+//! member failures and the failure of their own contact.
+
+use gmp::protocol::{ClusterBuilder, Config, ObserveConfig};
+use gmp::sim::{Builder, TraceKind};
+use gmp::types::{Note, ProcessId};
+
+fn main() {
+    let mut sim = ClusterBuilder::new(5, Config::default())
+        // Observer p5 follows member p2; observer p6 follows member p1.
+        .observer(ObserveConfig::new(200, vec![ProcessId(2)]))
+        .observer(ObserveConfig::new(250, vec![ProcessId(1)]))
+        .sim(Builder::new().seed(64))
+        .build();
+
+    // A member dies, then observer p5's own contact dies, then the
+    // coordinator dies.
+    sim.crash_at(ProcessId(4), 800);
+    sim.crash_at(ProcessId(2), 2_200);
+    sim.crash_at(ProcessId(0), 4_000);
+
+    sim.run_until(20_000);
+
+    println!("what the observers saw:");
+    for ev in &sim.trace().events {
+        if let TraceKind::Note(Note::ObservedView { ver, members, mgr }) = &ev.kind {
+            let ms: Vec<String> = members.iter().map(|m| m.to_string()).collect();
+            println!(
+                "  t={:<6} {} observed v{} (mgr {}): {{{}}}",
+                ev.time,
+                ev.pid,
+                ver,
+                mgr,
+                ms.join(", ")
+            );
+        }
+    }
+
+    let a = sim.node(ProcessId(5)).observed_view().expect("observer 5 is live");
+    let b = sim.node(ProcessId(6)).observed_view().expect("observer 6 is live");
+    println!("\nobserver p5 final: v{} {}", a.1, a.0);
+    println!("observer p6 final: v{} {}", b.1, b.0);
+
+    // Both observers converged on the members' agreed view, despite p5
+    // losing its contact mid-run.
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, 3, "three exclusions observed");
+    assert_eq!(a.0, sim.node(ProcessId(1)).view(), "observed == agreed");
+    println!("\nobservers track the agreed membership without being members: OK");
+}

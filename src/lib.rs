@@ -1,0 +1,44 @@
+//! # gmp — process groups as a failure-detection service
+//!
+//! A full reproduction of Ricciardi & Birman, *"Using Process Groups to
+//! Implement Failure Detection in Asynchronous Environments"* (Cornell
+//! TR 91-1188 / PODC 1991), as a Rust workspace. This facade crate
+//! re-exports every subsystem:
+//!
+//! * [`types`] — process ids, membership operations, seniority-ranked views;
+//! * [`sim`] — deterministic discrete-event simulator of the asynchronous
+//!   system model (§2.1);
+//! * [`link`] — reliable FIFO links built from scratch (alternating-bit,
+//!   go-back-N), per §3's channel requirements;
+//! * [`causality`] — Lamport/vector clocks and consistent cuts (§2.1);
+//! * [`detect`] — failure-detection substrate: observation (F1), isolation
+//!   (S1);
+//! * [`protocol`] — the paper's contribution: `Mgr`-coordinated two-phase
+//!   updates with condensed rounds, three-phase reconfiguration, joins;
+//! * [`props`] — the GMP-0…GMP-5 specification as machine-checkable
+//!   properties over recorded runs, plus the epistemic analysis of the
+//!   appendix;
+//! * [`baselines`] — the protocols the paper proves insufficient or
+//!   expensive (one-phase, two-phase reconfiguration, symmetric).
+//!
+//! # Example
+//!
+//! ```
+//! use gmp::protocol::cluster;
+//! use gmp::types::ProcessId;
+//!
+//! let mut sim = cluster(5, 42);
+//! sim.crash_at(ProcessId(4), 300);
+//! sim.run_until(5_000);
+//! let survivor = sim.node(ProcessId(0));
+//! assert!(!survivor.view().contains(ProcessId(4)));
+//! ```
+
+pub use gmp_baselines as baselines;
+pub use gmp_causality as causality;
+pub use gmp_core as protocol;
+pub use gmp_detect as detect;
+pub use gmp_link as link;
+pub use gmp_props as props;
+pub use gmp_sim as sim;
+pub use gmp_types as types;

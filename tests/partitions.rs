@@ -1,0 +1,130 @@
+//! Integration: partitions and degraded links. In the model a partition is
+//! indistinguishable from unbounded delay, so messages are held, not lost.
+
+use gmp::protocol::{cluster, cluster_with, Config};
+use gmp::props::{analyze, check_safety};
+use gmp::sim::BlockMode;
+use gmp::types::ProcessId;
+
+#[test]
+fn majority_side_progresses_minority_blocks() {
+    for seed in 0..10 {
+        let mut sim = cluster(7, seed);
+        let minority = [ProcessId(0), ProcessId(1)];
+        let majority: Vec<ProcessId> = (2..7).map(ProcessId).collect();
+        sim.partition_at(&[&minority, &majority], 500);
+        sim.run_until(25_000);
+        check_safety(sim.trace()).assert_ok();
+        // Majority view: exactly the majority members.
+        for &p in &majority {
+            if sim.status(p).is_up() {
+                let m = sim.node(p);
+                assert_eq!(m.view().len(), 5, "seed {seed} at {p}: {}", m.view());
+            }
+        }
+        // Minority never installs anything.
+        for &p in &minority {
+            if sim.status(p).is_up() {
+                assert_eq!(sim.node(p).ver(), 0, "seed {seed}: minority progressed");
+            }
+        }
+    }
+}
+
+#[test]
+fn even_split_blocks_both_sides() {
+    // 3|3: neither side holds a μ(6) = 4 majority; no view may commit.
+    let mut sim = cluster(6, 3);
+    let a = [ProcessId(0), ProcessId(1), ProcessId(2)];
+    let b = [ProcessId(3), ProcessId(4), ProcessId(5)];
+    sim.partition_at(&[&a, &b], 500);
+    sim.run_until(25_000);
+    check_safety(sim.trace()).assert_ok();
+    let analysis = analyze(sim.trace());
+    assert_eq!(
+        analysis.final_system_view().map(|v| v.ver).unwrap_or(0),
+        0,
+        "an even split must not commit any view"
+    );
+}
+
+#[test]
+fn partition_heal_after_exclusion_isolates_stragglers() {
+    // The majority excludes the minority; when the network heals, the
+    // minority's processes are already isolated (S1) and their messages
+    // are discarded — they never re-enter (GMP-4).
+    let mut sim = cluster(7, 5);
+    let minority = [ProcessId(5), ProcessId(6)];
+    let majority: Vec<ProcessId> = (0..5).map(ProcessId).collect();
+    sim.partition_at(&[&majority, &minority], 500);
+    sim.heal_at(5_000);
+    sim.run_until(25_000);
+    check_safety(sim.trace()).assert_ok();
+    for &p in &majority {
+        if sim.status(p).is_up() {
+            let m = sim.node(p);
+            assert!(!m.view().contains(ProcessId(5)));
+            assert!(!m.view().contains(ProcessId(6)));
+        }
+    }
+    let a = analyze(sim.trace());
+    // GMP-4 is part of safety, but assert explicitly: nobody re-admitted
+    // the stragglers under their old identity.
+    for (pid, views) in &a.views {
+        if majority.contains(pid) {
+            let last = views.last().expect("views exist");
+            assert!(!last.members.contains(&ProcessId(5)));
+        }
+    }
+}
+
+#[test]
+fn flaky_link_triggers_spurious_exclusion_but_stays_safe() {
+    // §2.2: a transient event prevents a live process from being heard;
+    // it is excluded (perceived failure) even though it never crashed.
+    let mut sim = cluster(5, 8);
+    for other in 0..4u32 {
+        sim.block_link_at(ProcessId(4), ProcessId(other), BlockMode::Hold, 500);
+    }
+    sim.run_until(20_000);
+    check_safety(sim.trace()).assert_ok();
+    for p in sim.living() {
+        if p != ProcessId(4) {
+            assert!(
+                !sim.node(p).view().contains(ProcessId(4)),
+                "the silenced member must be excluded at {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn slow_link_within_timeout_causes_no_exclusion() {
+    let mut sim = cluster_with(5, 9, Config::default().timing(40, 400));
+    // Delays well under the suspicion timeout: annoying but harmless.
+    sim.set_link_delay_at(ProcessId(3), ProcessId(0), Some((60, 120)), 500);
+    sim.set_link_delay_at(ProcessId(0), ProcessId(3), Some((60, 120)), 500);
+    sim.run_until(20_000);
+    check_safety(sim.trace()).assert_ok();
+    for p in sim.living() {
+        assert_eq!(sim.node(p).ver(), 0, "no exclusion expected at {p}");
+    }
+    assert_eq!(sim.living().len(), 5);
+}
+
+#[test]
+fn one_way_link_failure_resolves_by_gmp5() {
+    // p2 can send to p0 but never hears it: asymmetric suspicion. GMP-5
+    // forces one of them out; safety holds throughout.
+    let mut sim = cluster(5, 11);
+    sim.block_link_at(ProcessId(0), ProcessId(2), BlockMode::Hold, 500);
+    sim.run_until(25_000);
+    check_safety(sim.trace()).assert_ok();
+    let a = analyze(sim.trace());
+    let fv = a.final_system_view().expect("views exist");
+    assert!(
+        !fv.members.contains(&ProcessId(0)) || !fv.members.contains(&ProcessId(2)),
+        "one of the two ends must leave: {:?}",
+        fv.members
+    );
+}

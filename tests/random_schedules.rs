@@ -1,0 +1,159 @@
+//! Property-based end-to-end testing: random seeds, random minority crash
+//! sets, random crash times — the GMP safety clauses and convergence must
+//! hold on every schedule.
+
+use gmp::protocol::{cluster, cluster_with, ClusterBuilder, Config, JoinConfig};
+use gmp::props::{check_all, check_safety};
+use gmp::sim::Builder;
+use gmp::types::ProcessId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any minority subset of a 7-member group may crash at arbitrary
+    /// times; the survivors must converge and the full spec must hold.
+    #[test]
+    fn minority_crashes_converge(
+        seed in 0u64..10_000,
+        mut victims in proptest::collection::btree_set(1u32..7, 0..=2),
+        times in proptest::collection::vec(300u64..2_000, 3),
+    ) {
+        let mut sim = cluster(7, seed);
+        let victim_list: Vec<u32> = victims.iter().copied().collect();
+        for (i, v) in victim_list.iter().enumerate() {
+            sim.crash_at(ProcessId(*v), times[i % times.len()]);
+        }
+        sim.run_until(25_000);
+        check_all(sim.trace()).assert_ok();
+        for p in sim.living() {
+            let m = sim.node(p);
+            prop_assert_eq!(m.ver(), victim_list.len() as u64);
+            for v in &victim_list {
+                prop_assert!(!m.view().contains(ProcessId(*v)));
+            }
+        }
+        victims.clear();
+    }
+
+    /// Crashing the coordinator plus a random minority at random times
+    /// never violates safety, whatever the interleaving.
+    #[test]
+    fn mgr_plus_minority_crashes_safe(
+        seed in 0u64..10_000,
+        extra in 2u32..7,
+        t_mgr in 300u64..1_500,
+        t_extra in 300u64..2_500,
+    ) {
+        let mut sim = cluster(7, seed);
+        sim.crash_at(ProcessId(0), t_mgr);
+        sim.crash_at(ProcessId(extra), t_extra);
+        sim.run_until(30_000);
+        check_all(sim.trace()).assert_ok();
+        for p in sim.living() {
+            let m = sim.node(p);
+            prop_assert!(!m.view().contains(ProcessId(0)));
+            prop_assert!(!m.view().contains(ProcessId(extra)));
+        }
+    }
+
+    /// Random partial broadcasts: the coordinator dies after a random
+    /// number of sends of a random protocol message kind. Safety must hold
+    /// regardless of where the broadcast is cut.
+    #[test]
+    fn random_partial_broadcast_is_safe(
+        seed in 0u64..10_000,
+        tag_idx in 0usize..3,
+        sends in 1u32..4,
+    ) {
+        let tag = ["invite", "commit", "reconf-commit"][tag_idx];
+        let mut sim = cluster(6, seed);
+        sim.crash_at(ProcessId(5), 400);
+        sim.crash_after_sends_at(ProcessId(0), 0, Some(tag), sends);
+        sim.run_until(25_000);
+        check_safety(sim.trace()).assert_ok();
+        // Survivors that remain functional share one final view.
+        let living = sim.living();
+        if let Some((&first, rest)) = living.split_first() {
+            let v = sim.node(first).view().clone();
+            for &p in rest {
+                prop_assert_eq!(sim.node(p).view(), &v);
+            }
+        }
+    }
+
+    /// Random join times interleaved with a random crash stay correct.
+    #[test]
+    fn random_join_and_crash_interleavings(
+        seed in 0u64..10_000,
+        join_at in 300u64..2_000,
+        crash_at in 300u64..2_000,
+        victim in 2u32..5,
+    ) {
+        let mut sim = ClusterBuilder::new(5, Config::default())
+            .joiner(JoinConfig::new(join_at, vec![ProcessId(1)]))
+            .sim(Builder::new().seed(seed))
+            .build();
+        sim.crash_at(ProcessId(victim), crash_at);
+        sim.run_until(25_000);
+        check_all(sim.trace()).assert_ok();
+        for p in sim.living() {
+            let m = sim.node(p);
+            prop_assert_eq!(m.ver(), 2);
+            prop_assert!(m.view().contains(ProcessId(5)));
+            prop_assert!(!m.view().contains(ProcessId(victim)));
+        }
+    }
+
+    /// Random network delay ranges (including highly skewed ones) never
+    /// break safety, only liveness timing.
+    #[test]
+    fn random_delay_distributions_safe(
+        seed in 0u64..10_000,
+        dmin in 1u64..10,
+        dspan in 0u64..40,
+    ) {
+        let mut sim = ClusterBuilder::new(5, Config::default())
+            .sim(Builder::new().seed(seed).delay(dmin, dmin + dspan))
+            .build();
+        sim.crash_at(ProcessId(4), 500);
+        sim.run_until(30_000);
+        check_safety(sim.trace()).assert_ok();
+    }
+
+    /// A random spurious suspicion injected at a random member resolves
+    /// per GMP-5: suspect or observer leaves, and safety holds.
+    #[test]
+    fn random_spurious_suspicion_resolves(
+        seed in 0u64..10_000,
+        observer in 1u32..5,
+        suspect in 1u32..5,
+        at in 300u64..1_500,
+    ) {
+        prop_assume!(observer != suspect);
+        let mut sim = cluster(5, seed);
+        sim.run_until(at);
+        sim.node_mut(ProcessId(observer)).inject_suspicion(ProcessId(suspect));
+        sim.run_until(25_000);
+        check_safety(sim.trace()).assert_ok();
+        let a = gmp::props::analyze(sim.trace());
+        if let Some(fv) = a.final_system_view() {
+            prop_assert!(
+                !fv.members.contains(&ProcessId(suspect))
+                    || !fv.members.contains(&ProcessId(observer)),
+                "GMP-5 unresolved: {:?}", fv.members
+            );
+        }
+    }
+}
+
+#[test]
+fn uncompressed_random_schedules() {
+    for seed in 0..8 {
+        let mut sim = cluster_with(6, seed, Config::default().without_compression());
+        sim.crash_at(ProcessId(0), 500);
+        sim.crash_at(ProcessId(5), 800);
+        sim.run_until(25_000);
+        check_all(sim.trace()).assert_ok();
+    }
+}

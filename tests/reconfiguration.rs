@@ -1,0 +1,225 @@
+//! Integration: coordinator failures and the three-phase reconfiguration
+//! algorithm, including partial broadcasts and cascades of dying
+//! initiators.
+
+use gmp::protocol::cluster;
+use gmp::props::{analyze, check_all, check_safety};
+use gmp::types::{Note, ProcessId};
+
+#[test]
+fn idle_mgr_crash_is_replaced_by_next_in_rank() {
+    for seed in 0..15 {
+        let mut sim = cluster(5, seed);
+        sim.crash_at(ProcessId(0), 400);
+        sim.run_until(12_000);
+        check_all(sim.trace()).assert_ok();
+        for p in sim.living() {
+            let m = sim.node(p);
+            assert_eq!(m.mgr(), ProcessId(1), "seed {seed}: successor is next in rank");
+            assert_eq!(m.ver(), 1);
+            assert!(!m.view().contains(ProcessId(0)));
+        }
+    }
+}
+
+#[test]
+fn mgr_crash_mid_invite_broadcast() {
+    for seed in 0..10 {
+        let mut sim = cluster(6, seed);
+        sim.crash_at(ProcessId(5), 400);
+        // Mgr dies after inviting only two processes: nobody commits v1 on
+        // Mgr's authority; the reconfigurer must still exclude both.
+        sim.crash_after_sends_at(ProcessId(0), 0, Some("invite"), 2);
+        sim.run_until(20_000);
+        check_all(sim.trace()).assert_ok();
+        for p in sim.living() {
+            let m = sim.node(p);
+            assert!(!m.view().contains(ProcessId(0)), "seed {seed}");
+            assert!(!m.view().contains(ProcessId(5)), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn mgr_crash_mid_commit_broadcast_every_cut_point() {
+    // Figure 3 at every possible partial-broadcast length.
+    for sends in 1..=3u32 {
+        for seed in 0..5 {
+            let mut sim = cluster(5, seed);
+            sim.crash_at(ProcessId(4), 400);
+            sim.crash_after_sends_at(ProcessId(0), 0, Some("commit"), sends);
+            sim.run_until(20_000);
+            check_all(sim.trace()).assert_ok();
+            let living = sim.living();
+            assert!(!living.is_empty());
+            for &p in &living {
+                let m = sim.node(p);
+                assert!(!m.view().contains(ProcessId(0)), "sends={sends} seed={seed}");
+                assert!(!m.view().contains(ProcessId(4)), "sends={sends} seed={seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cascade_mgr_then_successor() {
+    for seed in 0..10 {
+        let mut sim = cluster(7, seed);
+        sim.crash_at(ProcessId(0), 400);
+        sim.crash_at(ProcessId(1), 1_800); // the fresh successor dies too
+        sim.run_until(25_000);
+        check_all(sim.trace()).assert_ok();
+        for p in sim.living() {
+            let m = sim.node(p);
+            assert_eq!(m.mgr(), ProcessId(2), "seed {seed}");
+            assert_eq!(m.view().len(), 5);
+        }
+    }
+}
+
+#[test]
+fn initiator_dies_mid_reconfiguration_commit() {
+    // E4's building block: the successor itself dies one send into its
+    // reconfiguration commit; the next initiator must detect the possibly
+    // invisible commit and stay consistent.
+    for seed in 0..10 {
+        let mut sim = cluster(7, seed);
+        sim.crash_at(ProcessId(0), 400);
+        sim.crash_after_sends_at(ProcessId(1), 0, Some("reconf-commit"), 1);
+        sim.run_until(30_000);
+        check_safety(sim.trace()).assert_ok();
+        let living = sim.living();
+        for &p in &living {
+            let m = sim.node(p);
+            assert!(!m.view().contains(ProcessId(0)), "seed {seed}");
+            assert!(!m.view().contains(ProcessId(1)), "seed {seed}");
+        }
+        // All survivors share one view.
+        let v0 = sim.node(living[0]).view().clone();
+        for &p in &living {
+            assert_eq!(sim.node(p).view(), &v0, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn deep_cascade_of_dying_initiators() {
+    // Three successive initiators die mid-commit before one succeeds.
+    let mut sim = cluster(9, 5);
+    sim.crash_at(ProcessId(0), 400);
+    for k in 1..=3u32 {
+        sim.crash_after_sends_at(ProcessId(k), 0, Some("reconf-commit"), 1);
+    }
+    sim.run_until(60_000);
+    check_safety(sim.trace()).assert_ok();
+    let living = sim.living();
+    assert!(living.len() >= 5, "majority must survive: {living:?}");
+    for &p in &living {
+        let m = sim.node(p);
+        assert_eq!(m.mgr(), ProcessId(4), "p4 finally succeeds");
+        for dead in 0..4u32 {
+            assert!(!m.view().contains(ProcessId(dead)));
+        }
+    }
+}
+
+#[test]
+fn old_mgr_in_flight_plan_is_honoured() {
+    // Mgr dies after fully inviting an exclusion but before any commit:
+    // its proposal is visible in the respondents' `next` lists and must be
+    // propagated by the reconfigurer (Determine, |ProposalsForVer| = 1).
+    for seed in 0..10 {
+        let mut sim = cluster(6, seed);
+        sim.crash_at(ProcessId(5), 400);
+        sim.crash_after_sends_at(ProcessId(0), 0, Some("commit"), 1);
+        sim.run_until(25_000);
+        check_all(sim.trace()).assert_ok();
+        // Both the original target and the dead Mgr are out.
+        for p in sim.living() {
+            let m = sim.node(p);
+            assert!(!m.view().contains(ProcessId(5)), "seed {seed}: plan dropped");
+            assert!(!m.view().contains(ProcessId(0)), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn straggler_behind_two_partial_commits_catches_up() {
+    // Regression for the Determine catch-up rule: after two successive
+    // initiators die one commit-send in, one witness is ahead of the pack
+    // while stragglers missed everything. The next proposal must cover the
+    // gap from the slowest respondent or the group stalls with a member
+    // that can never acknowledge an invitation again.
+    for seed in 0..10 {
+        let mut sim = cluster(9, seed);
+        sim.crash_at(ProcessId(0), 400);
+        sim.crash_after_sends_at(ProcessId(1), 0, Some("reconf-commit"), 1);
+        sim.crash_after_sends_at(ProcessId(2), 0, Some("reconf-commit"), 1);
+        sim.run_until(60_000);
+        check_safety(sim.trace()).assert_ok();
+        let living = sim.living();
+        assert!(living.len() >= 5, "seed {seed}: majority must survive");
+        let reference = sim.node(living[0]).view().clone();
+        let ref_ver = sim.node(living[0]).ver();
+        for &p in &living {
+            assert_eq!(sim.node(p).view(), &reference, "seed {seed}: {p} diverged");
+            assert_eq!(sim.node(p).ver(), ref_ver, "seed {seed}: {p} stalled behind");
+        }
+        for dead in 0..3u32 {
+            assert!(!reference.contains(ProcessId(dead)), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn majority_loss_blocks_without_divergence() {
+    let mut sim = cluster(7, 8);
+    for k in 2..7 {
+        sim.crash_at(ProcessId(k), 400); // 5 of 7 die: no majority remains
+    }
+    sim.run_until(30_000);
+    check_safety(sim.trace()).assert_ok();
+    let a = analyze(sim.trace());
+    assert!(
+        a.final_system_view().map(|v| v.ver).unwrap_or(0) == 0,
+        "no view can commit without a majority"
+    );
+}
+
+#[test]
+fn interrogated_senior_quits() {
+    // Fig. 10: a process receiving an interrogation from a lower-ranked
+    // initiator learns it is in HiFaulty(initiator) and quits.
+    let mut sim = cluster(5, 21);
+    // p1 falsely suspects p0 (and will initiate once it alone outranks it).
+    sim.run_until(400);
+    sim.node_mut(ProcessId(1)).inject_suspicion(ProcessId(0));
+    sim.run_until(15_000);
+    check_safety(sim.trace()).assert_ok();
+    // p0 was slandered; GMP-5 resolves it: p0 or p1 is out.
+    let a = analyze(sim.trace());
+    let fv = a.final_system_view().expect("views exist");
+    assert!(
+        !fv.members.contains(&ProcessId(0)) || !fv.members.contains(&ProcessId(1)),
+        "final view {:?}",
+        fv.members
+    );
+    // If p0 received the interrogation it must have quit (not crashed).
+    let p0_quit = a.quit.contains(&ProcessId(0));
+    let p0_excluded = !fv.members.contains(&ProcessId(0));
+    assert!(p0_quit == p0_excluded || !p0_excluded);
+}
+
+#[test]
+fn reconfiguration_emits_became_mgr_exactly_once_per_success() {
+    let mut sim = cluster(5, 30);
+    sim.crash_at(ProcessId(0), 400);
+    sim.run_until(12_000);
+    let winners: Vec<ProcessId> = sim
+        .trace()
+        .notes()
+        .filter(|(_, n)| matches!(n, Note::BecameMgr { ver } if *ver > 0))
+        .map(|(e, _)| e.pid)
+        .collect();
+    assert_eq!(winners, vec![ProcessId(1)]);
+}

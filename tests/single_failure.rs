@@ -1,0 +1,132 @@
+//! Integration: single and multiple member failures under the full
+//! algorithm, checked against the complete GMP specification.
+
+use gmp::protocol::{cluster, cluster_with, Config};
+use gmp::props::{analyze, check_all};
+use gmp::types::ProcessId;
+
+#[test]
+fn one_member_crash_converges_across_seeds() {
+    for seed in 0..20 {
+        let mut sim = cluster(5, seed);
+        sim.crash_at(ProcessId(3), 400);
+        sim.run_until(10_000);
+        check_all(sim.trace()).assert_ok();
+        for p in sim.living() {
+            let m = sim.node(p);
+            assert_eq!(m.ver(), 1, "seed {seed}, process {p}");
+            assert!(!m.view().contains(ProcessId(3)));
+        }
+    }
+}
+
+#[test]
+fn two_overlapping_crashes() {
+    for seed in 0..10 {
+        let mut sim = cluster(7, seed);
+        // The second crash lands while the first exclusion is in flight.
+        sim.crash_at(ProcessId(5), 400);
+        sim.crash_at(ProcessId(6), 430);
+        sim.run_until(12_000);
+        check_all(sim.trace()).assert_ok();
+        for p in sim.living() {
+            assert_eq!(sim.node(p).ver(), 2, "seed {seed} at {p}");
+            assert_eq!(sim.node(p).view().len(), 5);
+        }
+    }
+}
+
+#[test]
+fn simultaneous_burst_of_crashes() {
+    let mut sim = cluster(9, 3);
+    for k in 5..9 {
+        sim.crash_at(ProcessId(k), 400); // 4 of 9: still a minority
+    }
+    sim.run_until(20_000);
+    check_all(sim.trace()).assert_ok();
+    for p in sim.living() {
+        assert_eq!(sim.node(p).view().len(), 5);
+        assert_eq!(sim.node(p).ver(), 4);
+    }
+}
+
+#[test]
+fn exclusions_commit_in_a_single_total_order() {
+    let mut sim = cluster(6, 11);
+    sim.crash_at(ProcessId(4), 400);
+    sim.crash_at(ProcessId(5), 1_500);
+    sim.run_until(12_000);
+    let a = analyze(sim.trace());
+    // Every process that applied ops applied them in the same order.
+    let mut orders: Vec<Vec<String>> = Vec::new();
+    for p in sim.living() {
+        let ops: Vec<String> = a
+            .applied
+            .iter()
+            .filter(|r| r.pid == p)
+            .map(|r| r.op.to_string())
+            .collect();
+        orders.push(ops);
+    }
+    for w in orders.windows(2) {
+        assert_eq!(w[0], w[1], "operation orders diverge");
+    }
+}
+
+#[test]
+fn quiescent_group_stays_at_version_zero() {
+    let mut sim = cluster(5, 4);
+    sim.run_until(10_000);
+    check_all(sim.trace()).assert_ok();
+    for p in sim.living() {
+        assert_eq!(sim.node(p).ver(), 0);
+        assert_eq!(sim.node(p).view().len(), 5);
+    }
+    assert_eq!(sim.living().len(), 5, "nobody quits in a quiet run");
+}
+
+#[test]
+fn without_compression_is_equally_safe() {
+    for seed in 0..5 {
+        let mut sim = cluster_with(6, seed, Config::default().without_compression());
+        sim.crash_at(ProcessId(4), 400);
+        sim.crash_at(ProcessId(5), 420);
+        sim.run_until(12_000);
+        check_all(sim.trace()).assert_ok();
+        for p in sim.living() {
+            assert_eq!(sim.node(p).ver(), 2, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn basic_algorithm_tolerates_all_but_mgr() {
+    // §3.1: with an immortal Mgr the protocol tolerates |Memb|-1 failures.
+    let mut sim = cluster_with(6, 9, Config::default().without_mgr_majority());
+    for k in 1..6 {
+        sim.crash_at(ProcessId(k), 300 + 500 * k as u64);
+    }
+    sim.run_until(30_000);
+    let m = sim.node(ProcessId(0));
+    assert_eq!(m.ver(), 5);
+    assert_eq!(m.view().len(), 1);
+    check_all(sim.trace()).assert_ok();
+}
+
+#[test]
+fn slandered_member_is_excluded_not_the_group() {
+    // A spurious suspicion (degraded link, §2.2) leads to the suspect's
+    // exclusion via GMP-5 — the group itself stays consistent.
+    let mut sim = cluster(5, 13);
+    sim.run_until(500);
+    sim.node_mut(ProcessId(1)).inject_suspicion(ProcessId(4));
+    sim.run_until(12_000);
+    check_all(sim.trace()).assert_ok();
+    let a = analyze(sim.trace());
+    let fv = a.final_system_view().expect("views exist");
+    assert!(
+        !fv.members.contains(&ProcessId(4)) || !fv.members.contains(&ProcessId(1)),
+        "GMP-5: suspect or observer must leave; final = {:?}",
+        fv.members
+    );
+}
