@@ -89,13 +89,20 @@ impl OnePhaseMember {
         }
         self.view.remove(target);
         self.ver += 1;
-        ctx.note(Note::OpApplied { op: Op::remove(target), ver: self.ver });
+        ctx.note(Note::OpApplied {
+            op: Op::remove(target),
+            ver: self.ver,
+        });
         let mgr = self
             .view
             .iter()
             .find(|p| !self.faulty.contains(p))
             .unwrap_or(self.me);
-        ctx.note(Note::ViewInstalled { ver: self.ver, members: self.view.to_vec(), mgr });
+        ctx.note(Note::ViewInstalled {
+            ver: self.ver,
+            members: self.view.to_vec(),
+            mgr,
+        });
     }
 
     fn handle_faulty(&mut self, ctx: &mut Ctx<'_, OneMsg>, q: ProcessId) {
@@ -103,7 +110,10 @@ impl OnePhaseMember {
             return;
         }
         self.fd.suspect(q);
-        ctx.note(Note::Faulty { suspect: q, source: FaultySource::Observation });
+        ctx.note(Note::Faulty {
+            suspect: q,
+            source: FaultySource::Observation,
+        });
         if !self.view.contains(q) {
             return;
         }
@@ -111,7 +121,10 @@ impl OnePhaseMember {
         if self.is_coordinator() {
             // One phase: no invitation, no acknowledgement — just commit.
             let ver = self.ver + 1;
-            ctx.broadcast(self.view.iter().filter(|&p| p != self.me), OneMsg::Commit { target: q, ver });
+            ctx.broadcast(
+                self.view.iter().filter(|&p| p != self.me),
+                OneMsg::Commit { target: q, ver },
+            );
             self.apply_remove(ctx, q);
         }
     }
@@ -144,7 +157,9 @@ impl Node<OneMsg> for OnePhaseMember {
             OneMsg::Heartbeat => {}
             OneMsg::Commit { target, ver } => {
                 if target == self.me {
-                    ctx.note(Note::Quit { reason: gmp_types::note::QuitReason::Excluded });
+                    ctx.note(Note::Quit {
+                        reason: gmp_types::note::QuitReason::Excluded,
+                    });
                     ctx.quit();
                     return;
                 }
@@ -179,7 +194,10 @@ impl OnePhaseMember {
     fn handle_faulty_belief_only(&mut self, ctx: &mut Ctx<'_, OneMsg>, q: ProcessId) {
         if q != self.me && self.iso.isolate(q) {
             self.fd.suspect(q);
-            ctx.note(Note::Faulty { suspect: q, source: FaultySource::Gossip });
+            ctx.note(Note::Faulty {
+                suspect: q,
+                source: FaultySource::Gossip,
+            });
             self.faulty.insert(q);
         }
     }

@@ -110,8 +110,7 @@ pub fn figure_11_run(three_phase: bool, seed: u64) -> Sim<Msg, Member> {
     sim.node_mut(cast.mgr).inject_suspicion(cast.z);
     sim.crash_at(cast.mgr, 300);
     // After witnessing p's commit, w is partitioned away.
-    let rest: Vec<ProcessId> =
-        (0..n).map(ProcessId).filter(|&pid| pid != cast.w).collect();
+    let rest: Vec<ProcessId> = (0..n).map(ProcessId).filter(|&pid| pid != cast.w).collect();
     sim.partition_at(&[&[cast.w], &rest], 400);
     sim.run_until(30_000);
     sim
@@ -132,7 +131,9 @@ mod tests {
             "the one-phase protocol must produce conflicting views under partition"
         );
         // Both sides progressed: version 1 exists with two memberships.
-        assert!(gmp2.iter().any(|v| matches!(v, gmp_props::Violation::Gmp2 { ver: 1, .. })));
+        assert!(gmp2
+            .iter()
+            .any(|v| matches!(v, gmp_props::Violation::Gmp2 { ver: 1, .. })));
     }
 
     #[test]

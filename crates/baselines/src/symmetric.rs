@@ -111,8 +111,11 @@ impl SymmetricMember {
         }
         self.faulty.insert(q);
         // Symmetric: every believer broadcasts its own suspicion round.
-        let targets: Vec<ProcessId> =
-            self.view.iter().filter(|&p| p != self.me && p != q).collect();
+        let targets: Vec<ProcessId> = self
+            .view
+            .iter()
+            .filter(|&p| p != self.me && p != q)
+            .collect();
         ctx.broadcast(targets, SymMsg::Suspect { target: q });
         self.votes.entry(q).or_default().insert(self.me);
         self.advance(ctx, q);
@@ -129,8 +132,11 @@ impl SymmetricMember {
             return;
         }
         if self.sent_ready.insert(target) {
-            let targets: Vec<ProcessId> =
-                self.view.iter().filter(|&p| p != self.me && p != target).collect();
+            let targets: Vec<ProcessId> = self
+                .view
+                .iter()
+                .filter(|&p| p != self.me && p != target)
+                .collect();
             ctx.broadcast(targets, SymMsg::Ready { target });
             self.ready.entry(target).or_default().insert(self.me);
         }
@@ -139,7 +145,10 @@ impl SymmetricMember {
             // Everyone has seen everyone's vote: apply deterministically.
             self.view.remove(target);
             self.ver += 1;
-            ctx.note(Note::OpApplied { op: Op::remove(target), ver: self.ver });
+            ctx.note(Note::OpApplied {
+                op: Op::remove(target),
+                ver: self.ver,
+            });
             ctx.note(Note::ViewInstalled {
                 ver: self.ver,
                 members: self.view.to_vec(),
@@ -258,6 +267,9 @@ mod tests {
         sim.crash_at(ProcessId(9), 300);
         sim.run_until(10_000);
         let protocol = sim.stats().sends("suspect") + sim.stats().sends("ready");
-        assert!(protocol >= 2 * 8 * 8, "expected quadratic cost, got {protocol}");
+        assert!(
+            protocol >= 2 * 8 * 8,
+            "expected quadratic cost, got {protocol}"
+        );
     }
 }

@@ -49,7 +49,10 @@ fn main() {
         println!("== F3: Figure 3 — Mgr fails mid-commit; reconfiguration repairs ==");
         let (timeline, ok) = f3_mid_commit_crash(seed);
         print!("{timeline}");
-        println!("GMP safety after repair: {}", if ok { "HOLDS" } else { "VIOLATED" });
+        println!(
+            "GMP safety after repair: {}",
+            if ok { "HOLDS" } else { "VIOLATED" }
+        );
         println!();
     }
 
@@ -58,7 +61,10 @@ fn main() {
         let (initiations, distinct, safety) = f4_unique_view(seed);
         println!("reconfiguration initiations : {initiations}");
         println!("distinct memberships for v1 : {distinct} (must be 1)");
-        println!("GMP safety                  : {}", if safety { "HOLDS" } else { "VIOLATED" });
+        println!(
+            "GMP safety                  : {}",
+            if safety { "HOLDS" } else { "VIOLATED" }
+        );
         println!();
     }
 
@@ -80,7 +86,11 @@ fn main() {
             };
             println!(
                 "{label}: GMP safety {}, version-1 membership(s): {}",
-                if report.is_ok() { "HOLDS   " } else { "VIOLATED" },
+                if report.is_ok() {
+                    "HOLDS   "
+                } else {
+                    "VIOLATED"
+                },
                 v1.join("  vs  ")
             );
         }
@@ -101,22 +111,33 @@ fn main() {
         ms.dedup();
         println!(
             "GMP safety: {}; version-1 memberships: {}",
-            if report.is_ok() { "HOLDS (unexpected!)" } else { "VIOLATED (as proven)" },
-            ms.iter().map(|m| format!("{m:?}")).collect::<Vec<_>>().join("  vs  ")
+            if report.is_ok() {
+                "HOLDS (unexpected!)"
+            } else {
+                "VIOLATED (as proven)"
+            },
+            ms.iter()
+                .map(|m| format!("{m:?}"))
+                .collect::<Vec<_>>()
+                .join("  vs  ")
         );
         println!();
     }
 
     if want("e1") {
         println!("== E1: §7.2 — plain two-phase exclusion costs 3n-5 messages ==");
-        println!("{:<6} {:<10} {:<10} {}", "n", "measured", "3n-5", "match");
+        println!("{:<6} {:<10} {:<10} match", "n", "measured", "3n-5");
         for r in e1_exclusion(&[4, 5, 8, 16, 32, 64], seed) {
             println!(
                 "{:<6} {:<10} {:<10} {}",
                 r.n,
                 r.measured,
                 r.formula,
-                if r.measured == r.formula { "exact" } else { "DIFFERS" }
+                if r.measured == r.formula {
+                    "exact"
+                } else {
+                    "DIFFERS"
+                }
             );
         }
         println!();
@@ -125,8 +146,8 @@ fn main() {
     if want("e2") {
         println!("== E2: §7.2 — condensed rounds amortize the invitation ==");
         println!(
-            "{:<6} {:<9} {:<12} {:<10} {:<18} {}",
-            "n", "victims", "compressed", "standard", "saved/exclusion", "paper: ~n/2-1 extra for standard"
+            "{:<6} {:<9} {:<12} {:<10} {:<18} paper: ~n/2-1 extra for standard",
+            "n", "victims", "compressed", "standard", "saved/exclusion"
         );
         for r in e2_condensed(&[8, 16, 32, 64], seed) {
             println!(
@@ -144,7 +165,7 @@ fn main() {
 
     if want("e3") {
         println!("== E3: §7.2 — one successful reconfiguration costs ~5n-9 ==");
-        println!("{:<6} {:<10} {:<10} {}", "n", "measured", "5n-9", "delta");
+        println!("{:<6} {:<10} {:<10} delta", "n", "measured", "5n-9");
         for r in e3_reconfiguration(&[5, 8, 16, 32, 64], seed) {
             println!(
                 "{:<6} {:<10} {:<10} {:+}",
@@ -159,7 +180,10 @@ fn main() {
 
     if want("e4") {
         println!("== E4: §7.2 — worst case: cascading failed reconfigurations, O(n²) ==");
-        println!("{:<6} {:<18} {:<10} {}", "n", "failed initiators", "messages", "messages/n²");
+        println!(
+            "{:<6} {:<18} {:<10} messages/n²",
+            "n", "failed initiators", "messages"
+        );
         for r in e4_worst_case(&[7, 9, 13, 17, 25], seed) {
             println!(
                 "{:<6} {:<18} {:<10} {:.2}",
@@ -171,9 +195,12 @@ fn main() {
 
     if want("e5") {
         println!("== E5: §8 — symmetric protocol costs an order of magnitude more ==");
-        println!("{:<6} {:<12} {:<12} {}", "n", "symmetric", "asymmetric", "ratio");
+        println!("{:<6} {:<12} {:<12} ratio", "n", "symmetric", "asymmetric");
         for r in e5_symmetric(&[8, 16, 32, 64], seed) {
-            println!("{:<6} {:<12} {:<12} {:.1}x", r.n, r.symmetric, r.asymmetric, r.ratio);
+            println!(
+                "{:<6} {:<12} {:<12} {:.1}x",
+                r.n, r.symmetric, r.asymmetric, r.ratio
+            );
         }
         println!();
     }
@@ -189,15 +216,18 @@ fn main() {
             o.joins + o.crashes
         );
         println!("protocol messages    : {}", o.protocol_messages);
-        println!("full GMP spec        : {}", if o.gmp_ok { "HOLDS" } else { "VIOLATED" });
+        println!(
+            "full GMP spec        : {}",
+            if o.gmp_ok { "HOLDS" } else { "VIOLATED" }
+        );
         println!();
     }
 
     if want("e7") {
         println!("== E7: fault-tolerance bounds (§3.1, §4.3) ==");
         println!(
-            "{:<26} {:<4} {:<9} {:<16} {}",
-            "scenario", "n", "crashed", "views committed", "outcome ok"
+            "{:<26} {:<4} {:<9} {:<16} outcome ok",
+            "scenario", "n", "crashed", "views committed"
         );
         for r in e7_tolerance(seed) {
             println!(
@@ -216,7 +246,10 @@ fn main() {
 
     if want("ab1") {
         println!("== AB1: ablation — heartbeat gossip (F2) on/off ==");
-        println!("{:<8} {:<16} {:<12} {}", "gossip", "faulty-reports", "settled at", "GMP ok");
+        println!(
+            "{:<8} {:<16} {:<12} GMP ok",
+            "gossip", "faulty-reports", "settled at"
+        );
         for r in ab1_gossip(seed) {
             println!(
                 "{:<8} {:<16} {:<12} {}",
@@ -229,14 +262,16 @@ fn main() {
     if want("ab2") {
         println!("== AB2: ablation — detection-timeout sweep ==");
         println!(
-            "{:<14} {:<20} {:<22} {}",
-            "suspect_after", "exclusion latency", "spurious suspicions", "safety"
+            "{:<14} {:<20} {:<22} safety",
+            "suspect_after", "exclusion latency", "spurious suspicions"
         );
         for r in ab2_timeout_sweep(seed) {
             println!(
                 "{:<14} {:<20} {:<22} {}",
                 r.suspect_after,
-                r.exclusion_latency.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+                r.exclusion_latency
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 r.spurious_suspicions,
                 if r.safe { "HOLDS" } else { "VIOLATED" }
             );

@@ -8,7 +8,7 @@
 //! convention up to O(1) differences in whether known-faulty members are
 //! still addressed.
 
-use gmp_baselines::{SymmetricMember, SymMsg};
+use gmp_baselines::{SymMsg, SymmetricMember};
 use gmp_core::{cluster_with, is_protocol_tag, ClusterBuilder, Config, JoinConfig, Member, Msg};
 use gmp_props::{analyze, check_all, check_safety, knowledge_ladder, render_ladder};
 use gmp_sim::{Builder, Sim, Stats, TraceKind};
@@ -216,7 +216,12 @@ pub fn e5_symmetric(ns: &[usize], seed: u64) -> Vec<SymmetricRow> {
             let symmetric = sym.stats().sends("suspect") + sym.stats().sends("ready");
 
             let asymmetric = e1_exclusion(&[n], seed)[0].measured;
-            SymmetricRow { n, symmetric, asymmetric, ratio: symmetric as f64 / asymmetric as f64 }
+            SymmetricRow {
+                n,
+                symmetric,
+                asymmetric,
+                ratio: symmetric as f64 / asymmetric as f64,
+            }
         })
         .collect()
 }
@@ -379,7 +384,14 @@ pub struct Table1Row {
 pub fn t1_initiations(seed: u64) -> Vec<Table1Row> {
     let p = ProcessId(1);
     let q = ProcessId(2);
-    let scenarios: [(&'static str, &'static str, &'static str, &'static str, bool, bool); 4] = [
+    let scenarios: [(
+        &'static str,
+        &'static str,
+        &'static str,
+        &'static str,
+        bool,
+        bool,
+    ); 4] = [
         // (p actual, q thinks p, expected q, expected p, crash_p, inject_q)
         ("Up", "Up", "No", "Yes", false, false),
         ("Failed", "Up", "Eventually", "No", true, false),
@@ -388,36 +400,38 @@ pub fn t1_initiations(seed: u64) -> Vec<Table1Row> {
     ];
     scenarios
         .iter()
-        .map(|&(p_actual, q_thinks, expect_q, expect_p, crash_p, inject_q)| {
-            let mut sim = cluster_with(5, seed, Config::default());
-            sim.crash_at(ProcessId(0), 300);
-            if crash_p {
-                sim.crash_at(p, 310);
-            }
-            if inject_q {
-                // The table's premise is that Mgr is already perceived
-                // faulty when q's belief about p matters: inject the
-                // (spurious) suspicion right around everyone's detection
-                // of Mgr's crash. Injected earlier, the still-live Mgr
-                // would simply exclude p through the normal update path.
-                sim.run_until(510);
-                sim.node_mut(q).inject_suspicion(p);
-            }
-            sim.run_until(10_000);
-            let initiated = |pid: ProcessId| {
-                sim.trace().notes().any(|(ev, note)| {
-                    ev.pid == pid && matches!(note, Note::ReconfStarted { .. })
-                })
-            };
-            Table1Row {
-                p_actual,
-                q_thinks_p: q_thinks,
-                expect_q,
-                expect_p,
-                q_initiated: initiated(q),
-                p_initiated: initiated(p),
-            }
-        })
+        .map(
+            |&(p_actual, q_thinks, expect_q, expect_p, crash_p, inject_q)| {
+                let mut sim = cluster_with(5, seed, Config::default());
+                sim.crash_at(ProcessId(0), 300);
+                if crash_p {
+                    sim.crash_at(p, 310);
+                }
+                if inject_q {
+                    // The table's premise is that Mgr is already perceived
+                    // faulty when q's belief about p matters: inject the
+                    // (spurious) suspicion right around everyone's detection
+                    // of Mgr's crash. Injected earlier, the still-live Mgr
+                    // would simply exclude p through the normal update path.
+                    sim.run_until(510);
+                    sim.node_mut(q).inject_suspicion(p);
+                }
+                sim.run_until(10_000);
+                let initiated = |pid: ProcessId| {
+                    sim.trace().notes().any(|(ev, note)| {
+                        ev.pid == pid && matches!(note, Note::ReconfStarted { .. })
+                    })
+                };
+                Table1Row {
+                    p_actual,
+                    q_thinks_p: q_thinks,
+                    expect_q,
+                    expect_p,
+                    q_initiated: initiated(q),
+                    p_initiated: initiated(p),
+                }
+            },
+        )
         .collect()
 }
 
@@ -476,8 +490,11 @@ pub fn f4_unique_view(seed: u64) -> (usize, usize, bool) {
         .filter(|(_, n)| matches!(n, Note::ReconfStarted { .. }))
         .count();
     let a = analyze(sim.trace());
-    let mut memberships: Vec<Vec<ProcessId>> =
-        a.memberships_of_ver(1).into_iter().map(|v| v.members.clone()).collect();
+    let mut memberships: Vec<Vec<ProcessId>> = a
+        .memberships_of_ver(1)
+        .into_iter()
+        .map(|v| v.members.clone())
+        .collect();
     memberships.sort();
     memberships.dedup();
     let safety = check_safety(sim.trace()).is_ok();
@@ -677,10 +694,22 @@ mod tests {
     #[test]
     fn t1_matches_paper_table() {
         let rows = t1_initiations(600);
-        assert!(!rows[0].q_initiated && rows[0].p_initiated, "row 1: only p initiates");
-        assert!(rows[1].q_initiated && !rows[1].p_initiated, "row 2: q eventually initiates");
-        assert!(rows[2].q_initiated && rows[2].p_initiated, "row 3: both initiate");
-        assert!(rows[3].q_initiated && !rows[3].p_initiated, "row 4: only q initiates");
+        assert!(
+            !rows[0].q_initiated && rows[0].p_initiated,
+            "row 1: only p initiates"
+        );
+        assert!(
+            rows[1].q_initiated && !rows[1].p_initiated,
+            "row 2: q eventually initiates"
+        );
+        assert!(
+            rows[2].q_initiated && rows[2].p_initiated,
+            "row 3: both initiate"
+        );
+        assert!(
+            rows[3].q_initiated && !rows[3].p_initiated,
+            "row 4: only q initiates"
+        );
     }
 
     #[test]
@@ -711,15 +740,25 @@ mod tests {
             assert_eq!(r.spurious_suspicions, 0, "timeout {}", r.suspect_after);
         }
         let l200 = sane[0].exclusion_latency.expect("exclusion commits");
-        let l800 = sane.last().unwrap().exclusion_latency.expect("exclusion commits");
+        let l800 = sane
+            .last()
+            .unwrap()
+            .exclusion_latency
+            .expect("exclusion commits");
         assert!(l800 > l200, "longer timeout, later exclusion");
     }
 
     #[test]
     fn f4_view_is_unique_despite_concurrent_initiators() {
         let (initiations, distinct_v1, safety) = f4_unique_view(700);
-        assert!(initiations >= 2, "scenario must produce concurrent initiations");
-        assert_eq!(distinct_v1, 1, "GMP-2: version 1 must have a unique membership");
+        assert!(
+            initiations >= 2,
+            "scenario must produce concurrent initiations"
+        );
+        assert_eq!(
+            distinct_v1, 1,
+            "GMP-2: version 1 must have a unique membership"
+        );
         assert!(safety, "GMP safety must hold");
     }
 }

@@ -33,7 +33,10 @@ pub struct EventLog {
 impl EventLog {
     /// Builds a log for `n` processes.
     pub fn new(n: usize) -> Self {
-        EventLog { events: Vec::new(), histories: vec![Vec::new(); n] }
+        EventLog {
+            events: Vec::new(),
+            histories: vec![Vec::new(); n],
+        }
     }
 
     /// Appends an event (events must be appended in a causally consistent
@@ -177,7 +180,10 @@ impl Cut {
     pub fn contains(&self, log: &EventLog, e: EventIndex) -> bool {
         let ev = log.event(e);
         let hist = log.history(ev.pid);
-        let pos = hist.iter().position(|&i| i == e).expect("event not in its history");
+        let pos = hist
+            .iter()
+            .position(|&i| i == e)
+            .expect("event not in its history");
         pos < self.taken(ev.pid)
     }
 }
@@ -193,12 +199,21 @@ mod tests {
         let mut vc_a = VectorClock::new(2);
         let mut vc_b = VectorClock::new(2);
         vc_a.tick(0); // e0 = send at p0
-        log.push(LoggedEvent { pid: ProcessId(0), vc: vc_a.clone() });
+        log.push(LoggedEvent {
+            pid: ProcessId(0),
+            vc: vc_a.clone(),
+        });
         vc_b.tick(1); // e1 = local at p1
-        log.push(LoggedEvent { pid: ProcessId(1), vc: vc_b.clone() });
+        log.push(LoggedEvent {
+            pid: ProcessId(1),
+            vc: vc_b.clone(),
+        });
         vc_b.observe(&vc_a);
         vc_b.tick(1); // e2 = receive at p1
-        log.push(LoggedEvent { pid: ProcessId(1), vc: vc_b });
+        log.push(LoggedEvent {
+            pid: ProcessId(1),
+            vc: vc_b,
+        });
         log
     }
 

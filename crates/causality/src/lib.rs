@@ -70,7 +70,9 @@ pub struct VectorClock {
 impl VectorClock {
     /// The zero clock of dimension `n`.
     pub fn new(n: usize) -> Self {
-        VectorClock { entries: vec![0; n] }
+        VectorClock {
+            entries: vec![0; n],
+        }
     }
 
     /// Dimension of the clock.

@@ -98,5 +98,7 @@ pub fn cluster(n: usize, seed: u64) -> Sim<Msg, Member> {
 
 /// Shorthand: an `n`-member cluster with explicit protocol configuration.
 pub fn cluster_with(n: usize, seed: u64, cfg: Config) -> Sim<Msg, Member> {
-    ClusterBuilder::new(n, cfg).sim(Builder::new().seed(seed)).build()
+    ClusterBuilder::new(n, cfg)
+        .sim(Builder::new().seed(seed))
+        .build()
 }

@@ -62,7 +62,10 @@ impl Config {
 
     /// Sets the heartbeat interval and suspicion timeout.
     pub fn timing(mut self, heartbeat_every: u64, suspect_after: u64) -> Self {
-        assert!(heartbeat_every > 0 && suspect_after > 0, "timing values must be positive");
+        assert!(
+            heartbeat_every > 0 && suspect_after > 0,
+            "timing values must be positive"
+        );
         self.heartbeat_every = heartbeat_every;
         self.suspect_after = suspect_after;
         self
@@ -124,7 +127,11 @@ impl JoinConfig {
     /// ticks.
     pub fn new(at: u64, contacts: Vec<ProcessId>) -> Self {
         assert!(!contacts.is_empty(), "a joiner needs at least one contact");
-        JoinConfig { at, contacts, retry_every: 250 }
+        JoinConfig {
+            at,
+            contacts,
+            retry_every: 250,
+        }
     }
 
     /// Overrides the retry interval.
@@ -151,8 +158,15 @@ impl ObserveConfig {
     /// An observer first subscribing at `at` through `contacts`, polling
     /// every 100 ticks.
     pub fn new(at: u64, contacts: Vec<ProcessId>) -> Self {
-        assert!(!contacts.is_empty(), "an observer needs at least one contact");
-        ObserveConfig { at, contacts, poll_every: 100 }
+        assert!(
+            !contacts.is_empty(),
+            "an observer needs at least one contact"
+        );
+        ObserveConfig {
+            at,
+            contacts,
+            poll_every: 100,
+        }
     }
 
     /// Overrides the polling interval.

@@ -62,7 +62,10 @@ pub fn proposals_for_ver(responses: &[PhaseOneResp], x: Ver) -> Vec<Proposal> {
         for entry in &resp.next {
             if entry.ver == Some(x) {
                 if let Some(ops) = &entry.ops {
-                    let prop = Proposal { ops: ops.clone(), coord: entry.coord };
+                    let prop = Proposal {
+                        ops: ops.clone(),
+                        coord: entry.coord,
+                    };
                     if !out.contains(&prop) {
                         out.push(prop);
                     }
@@ -97,7 +100,10 @@ pub fn distinct_op_sets(proposals: &[Proposal]) -> usize {
 ///
 /// Panics if `proposals` is empty.
 pub fn get_stable(proposals: &[Proposal], view: &View) -> Vec<Op> {
-    assert!(!proposals.is_empty(), "GetStable requires at least one proposal");
+    assert!(
+        !proposals.is_empty(),
+        "GetStable requires at least one proposal"
+    );
     let junior_most = proposals
         .iter()
         .min_by_key(|p| view.rank(p.coord).unwrap_or(0))
@@ -151,7 +157,11 @@ pub fn determine(
 ) -> Decision {
     let mut all: Vec<&PhaseOneResp> = Vec::with_capacity(others.len() + 1);
     all.push(me);
-    all.extend(others.iter().filter(|r| r.ver + 1 >= me.ver && r.ver <= me.ver + 1));
+    all.extend(
+        others
+            .iter()
+            .filter(|r| r.ver + 1 >= me.ver && r.ver <= me.ver + 1),
+    );
     let owned: Vec<PhaseOneResp> = all.iter().map(|r| (*r).clone()).collect();
 
     // L: respondents one version ahead; S: one version behind (§5).
@@ -164,24 +174,32 @@ pub fn determine(
     // future invitation and the group would stall. Re-proposing the full
     // suffix is safe: all seqs are prefix-compatible (Theorem 5.1), so
     // every competing committed proposal installs the same views.
-    let min_len = all.iter().map(|r| r.seq.len()).min().unwrap_or(me.seq.len());
+    let min_len = all
+        .iter()
+        .map(|r| r.seq.len())
+        .min()
+        .unwrap_or(me.seq.len());
 
     if let Some(l) = l_rep {
         // Incomplete installation of version ver(L): catch everyone up.
         let v = l.ver;
-        debug_assert!(l.seq.len() >= me.seq.len(), "seqs must be prefix-compatible");
+        debug_assert!(
+            l.seq.len() >= me.seq.len(),
+            "seqs must be prefix-compatible"
+        );
         let rl: Vec<Op> = l.seq[min_len..].to_vec();
-        let invis = select_proposal(&owned, v + 1, view)
-            .unwrap_or_else(|| get_next(queue, &rl));
+        let invis = select_proposal(&owned, v + 1, view).unwrap_or_else(|| get_next(queue, &rl));
         Decision { v, rl, invis }
     } else if let Some(s) = s_rep {
         // Incomplete installation of version ver(r): re-propose the suffix
         // the laggards are missing.
         let v = me.ver;
-        debug_assert!(me.seq.len() >= s.seq.len(), "seqs must be prefix-compatible");
+        debug_assert!(
+            me.seq.len() >= s.seq.len(),
+            "seqs must be prefix-compatible"
+        );
         let rl: Vec<Op> = me.seq[min_len..].to_vec();
-        let invis = select_proposal(&owned, v + 1, view)
-            .unwrap_or_else(|| get_next(queue, &rl));
+        let invis = select_proposal(&owned, v + 1, view).unwrap_or_else(|| get_next(queue, &rl));
         Decision { v, rl, invis }
     } else {
         // Everyone agrees on ver(r): propose a fresh change for v =
@@ -208,7 +226,12 @@ mod tests {
     }
 
     fn resp(from: u32, ver: Ver, seq: Vec<Op>, next: Vec<NextEntry>) -> PhaseOneResp {
-        PhaseOneResp { from: pid(from), ver, seq, next }
+        PhaseOneResp {
+            from: pid(from),
+            ver,
+            seq,
+            next,
+        }
     }
 
     /// Quiescent failure of Mgr: no proposals anywhere, everyone at the same
@@ -219,7 +242,13 @@ mod tests {
         let v = view(&[0, 1, 2, 3, 4]);
         let me = resp(1, 0, vec![], vec![]);
         let others = [resp(2, 0, vec![], vec![]), resp(3, 0, vec![], vec![])];
-        let d = determine(&me, &others, &v, pid(0), &[Op::remove(pid(0)), Op::remove(pid(4))]);
+        let d = determine(
+            &me,
+            &others,
+            &v,
+            pid(0),
+            &[Op::remove(pid(0)), Op::remove(pid(4))],
+        );
         assert_eq!(d.v, 1);
         assert_eq!(d.rl, vec![Op::remove(pid(0))]);
         // GetNext skips ops already in rl.
@@ -233,7 +262,10 @@ mod tests {
         let v = view(&[0, 1, 2, 3, 4]);
         let mgr_plan = NextEntry::concrete(vec![Op::remove(pid(4))], pid(0), 1);
         let me = resp(1, 0, vec![], vec![]);
-        let others = [resp(2, 0, vec![], vec![mgr_plan]), resp(3, 0, vec![], vec![])];
+        let others = [
+            resp(2, 0, vec![], vec![mgr_plan]),
+            resp(3, 0, vec![], vec![]),
+        ];
         let d = determine(&me, &others, &v, pid(0), &[Op::remove(pid(0))]);
         assert_eq!(d.v, 1);
         assert_eq!(d.rl, vec![Op::remove(pid(4))]);
@@ -251,10 +283,17 @@ mod tests {
         let from_mgr = NextEntry::concrete(vec![Op::remove(pid(4))], pid(0), 1);
         let from_rec = NextEntry::concrete(vec![Op::remove(pid(0))], pid(1), 1);
         let me = resp(2, 0, vec![], vec![]);
-        let others = [resp(3, 0, vec![], vec![from_mgr]), resp(4, 0, vec![], vec![from_rec])];
+        let others = [
+            resp(3, 0, vec![], vec![from_mgr]),
+            resp(4, 0, vec![], vec![from_rec]),
+        ];
         let d = determine(&me, &others, &v, pid(0), &[]);
         assert_eq!(d.v, 1);
-        assert_eq!(d.rl, vec![Op::remove(pid(0))], "junior proposer is stable (Prop. 5.6)");
+        assert_eq!(
+            d.rl,
+            vec![Op::remove(pid(0))],
+            "junior proposer is stable (Prop. 5.6)"
+        );
     }
 
     /// L ≠ ∅: some respondent already installed ver(r)+1 — the initiator
@@ -296,7 +335,10 @@ mod tests {
         let v = view(&[0, 1, 2, 3, 4]);
         let committed = Op::remove(pid(4));
         let me = resp(1, 1, vec![committed], vec![]);
-        let others = [resp(2, 1, vec![committed], vec![]), resp(3, 0, vec![], vec![])];
+        let others = [
+            resp(2, 1, vec![committed], vec![]),
+            resp(3, 0, vec![], vec![]),
+        ];
         let d = determine(&me, &others, &v, pid(0), &[Op::remove(pid(0))]);
         assert_eq!(d.v, 1);
         assert_eq!(d.rl, vec![committed]);
@@ -371,12 +413,31 @@ mod catch_up_tests {
         let view = View::new((0..6).map(pid).collect());
         let op1 = Op::remove(pid(0));
         let op2 = Op::remove(pid(1));
-        let me = PhaseOneResp { from: pid(2), ver: 1, seq: vec![op1], next: vec![] };
-        let ahead = PhaseOneResp { from: pid(3), ver: 2, seq: vec![op1, op2], next: vec![] };
-        let behind = PhaseOneResp { from: pid(4), ver: 0, seq: vec![], next: vec![] };
+        let me = PhaseOneResp {
+            from: pid(2),
+            ver: 1,
+            seq: vec![op1],
+            next: vec![],
+        };
+        let ahead = PhaseOneResp {
+            from: pid(3),
+            ver: 2,
+            seq: vec![op1, op2],
+            next: vec![],
+        };
+        let behind = PhaseOneResp {
+            from: pid(4),
+            ver: 0,
+            seq: vec![],
+            next: vec![],
+        };
         let d = determine(&me, &[ahead, behind], &view, pid(0), &[]);
         assert_eq!(d.v, 2);
-        assert_eq!(d.rl, vec![op1, op2], "must start from the slowest respondent");
+        assert_eq!(
+            d.rl,
+            vec![op1, op2],
+            "must start from the slowest respondent"
+        );
     }
 
     /// Same with no one ahead: the initiator re-proposes its own suffix
@@ -385,8 +446,18 @@ mod catch_up_tests {
     fn behind_branch_covers_multiple_missing_ops() {
         let view = View::new((0..6).map(pid).collect());
         let op1 = Op::remove(pid(0));
-        let me = PhaseOneResp { from: pid(2), ver: 1, seq: vec![op1], next: vec![] };
-        let behind = PhaseOneResp { from: pid(4), ver: 0, seq: vec![], next: vec![] };
+        let me = PhaseOneResp {
+            from: pid(2),
+            ver: 1,
+            seq: vec![op1],
+            next: vec![],
+        };
+        let behind = PhaseOneResp {
+            from: pid(4),
+            ver: 0,
+            seq: vec![],
+            next: vec![],
+        };
         let d = determine(&me, &[behind], &view, pid(0), &[]);
         assert_eq!(d.v, 1);
         assert_eq!(d.rl, vec![op1]);
@@ -396,7 +467,12 @@ mod catch_up_tests {
     #[test]
     fn get_next_can_be_empty() {
         let view = View::new((0..4).map(pid).collect());
-        let me = PhaseOneResp { from: pid(1), ver: 0, seq: vec![], next: vec![] };
+        let me = PhaseOneResp {
+            from: pid(1),
+            ver: 0,
+            seq: vec![],
+            next: vec![],
+        };
         let d = determine(&me, &[], &view, pid(0), &[Op::remove(pid(0))]);
         assert_eq!(d.rl, vec![Op::remove(pid(0))]);
         assert!(d.invis.is_empty(), "queue head conflicts with RL");

@@ -150,7 +150,10 @@ impl Member {
     /// Panics if `cfg` carries a join configuration (use a joiner
     /// constructor path for that) or if the initial view is empty.
     pub fn new(cfg: Config, initial_view: View) -> Self {
-        assert!(cfg.join.is_none(), "initial members must not carry a join config");
+        assert!(
+            cfg.join.is_none(),
+            "initial members must not carry a join config"
+        );
         assert!(!initial_view.is_empty(), "initial view must be non-empty");
         let mgr = initial_view.most_senior().expect("non-empty view");
         let suspect_after = cfg.suspect_after;
@@ -215,7 +218,10 @@ impl Member {
     ///
     /// Panics if `cfg` lacks an observer configuration.
     pub fn observer(cfg: Config) -> Self {
-        let observe = cfg.observe.clone().expect("an observer requires an observe config");
+        let observe = cfg
+            .observe
+            .clone()
+            .expect("an observer requires an observe config");
         let mut m = Member::joiner_unchecked(cfg);
         m.lifecycle = Lifecycle::Observing;
         m.obs = Some(ObsState {
@@ -470,7 +476,10 @@ impl Member {
         if self.ver >= v {
             return;
         }
-        debug_assert!(!rl.is_empty(), "a reconfiguration proposal installs at least one op");
+        debug_assert!(
+            !rl.is_empty(),
+            "a reconfiguration proposal installs at least one op"
+        );
         let start = v.saturating_sub(rl.len() as u64);
         if self.ver < start {
             // Further behind than the proposal can repair; impossible per
@@ -597,7 +606,12 @@ impl Member {
         let vnext = self.ver + 1;
         ctx.broadcast(self.others(), Msg::Invite { op, ver: vnext });
         let pending = self.await_set();
-        self.role = Role::MgrAwait { op, ver: vnext, pending, oks: BTreeSet::new() };
+        self.role = Role::MgrAwait {
+            op,
+            ver: vnext,
+            pending,
+            oks: BTreeSet::new(),
+        };
         self.mgr_check_complete(ctx);
     }
 
@@ -610,8 +624,9 @@ impl Member {
 
     /// Every awaited member has responded or been suspected: commit.
     fn mgr_oks_complete(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let Role::MgrAwait { op, ver: v, oks, .. } =
-            std::mem::replace(&mut self.role, Role::MgrIdle)
+        let Role::MgrAwait {
+            op, ver: v, oks, ..
+        } = std::mem::replace(&mut self.role, Role::MgrIdle)
         else {
             return;
         };
@@ -653,7 +668,12 @@ impl Member {
             );
             if let Some(n) = nxt {
                 let pending = self.await_set();
-                self.role = Role::MgrAwait { op: n, ver: v + 1, pending, oks: BTreeSet::new() };
+                self.role = Role::MgrAwait {
+                    op: n,
+                    ver: v + 1,
+                    pending,
+                    oks: BTreeSet::new(),
+                };
                 self.mgr_check_complete(ctx);
             } else {
                 self.role = Role::MgrIdle;
@@ -706,7 +726,9 @@ impl Member {
 
     fn on_update_ok(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, v: Ver) {
         let complete = match &mut self.role {
-            Role::MgrAwait { ver, pending, oks, .. } if *ver == v => {
+            Role::MgrAwait {
+                ver, pending, oks, ..
+            } if *ver == v => {
                 if pending.remove(&from) {
                     oks.insert(from);
                 }
@@ -719,6 +741,9 @@ impl Member {
         }
     }
 
+    // One parameter per field of the paper's commit message; bundling them
+    // into a struct would just duplicate `Msg::Commit`.
+    #[allow(clippy::too_many_arguments)]
     fn on_commit(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -733,7 +758,16 @@ impl Member {
             return;
         }
         if v > self.ver + 1 {
-            self.buffered.push((from, Msg::Commit { op, ver: v, next: nxt, faulty: f, recovered: r }));
+            self.buffered.push((
+                from,
+                Msg::Commit {
+                    op,
+                    ver: v,
+                    next: nxt,
+                    faulty: f,
+                    recovered: r,
+                },
+            ));
             return;
         }
         if v < self.ver {
@@ -860,8 +894,12 @@ impl Member {
             next: self.next.clone(),
         };
         let pending = self.await_set();
-        self.role = Role::ReconfInterrogate { pending, resp: vec![my_resp] };
-        let done = matches!(&self.role, Role::ReconfInterrogate { pending, .. } if pending.is_empty());
+        self.role = Role::ReconfInterrogate {
+            pending,
+            resp: vec![my_resp],
+        };
+        let done =
+            matches!(&self.role, Role::ReconfInterrogate { pending, .. } if pending.is_empty());
         if done {
             self.reconf_phase1_complete(ctx);
         }
@@ -883,7 +921,11 @@ impl Member {
         // Respond with the pre-placeholder state (§4.4 ordering).
         ctx.send(
             r,
-            Msg::InterrogateOk { ver: self.ver, seq: self.seq.clone(), next: self.next.clone() },
+            Msg::InterrogateOk {
+                ver: self.ver,
+                seq: self.seq.clone(),
+                next: self.next.clone(),
+            },
         );
         // Infer HiFaulty(r): every member senior to r (§4.5).
         for s in self.view.seniors_of(r).to_vec() {
@@ -906,7 +948,12 @@ impl Member {
         let complete = match &mut self.role {
             Role::ReconfInterrogate { pending, resp } => {
                 if pending.remove(&from) {
-                    resp.push(PhaseOneResp { from, ver, seq, next });
+                    resp.push(PhaseOneResp {
+                        from,
+                        ver,
+                        seq,
+                        next,
+                    });
                 }
                 pending.is_empty()
             }
@@ -918,8 +965,7 @@ impl Member {
     }
 
     fn reconf_phase1_complete(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let Role::ReconfInterrogate { resp, .. } =
-            std::mem::replace(&mut self.role, Role::Outer)
+        let Role::ReconfInterrogate { resp, .. } = std::mem::replace(&mut self.role, Role::Outer)
         else {
             return;
         };
@@ -1002,7 +1048,12 @@ impl Member {
 
     fn on_propose_ok(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, v: Ver) {
         let complete = match &mut self.role {
-            Role::ReconfPropose { v: pv, pending, oks, .. } if *pv == v => {
+            Role::ReconfPropose {
+                v: pv,
+                pending,
+                oks,
+                ..
+            } if *pv == v => {
                 if pending.remove(&from) {
                     oks.insert(from);
                 }
@@ -1016,8 +1067,9 @@ impl Member {
     }
 
     fn reconf_phase2_complete(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let Role::ReconfPropose { v, rl, invis, oks, .. } =
-            std::mem::replace(&mut self.role, Role::Outer)
+        let Role::ReconfPropose {
+            v, rl, invis, oks, ..
+        } = std::mem::replace(&mut self.role, Role::Outer)
         else {
             return;
         };
@@ -1041,7 +1093,11 @@ impl Member {
             return;
         }
         ctx.note(Note::BecameMgr { ver: self.ver });
-        let carried_invis = if self.cfg.compression { invis.clone() } else { Vec::new() };
+        let carried_invis = if self.cfg.compression {
+            invis.clone()
+        } else {
+            Vec::new()
+        };
         ctx.broadcast(
             self.others(),
             Msg::ReconfCommit {
@@ -1060,7 +1116,12 @@ impl Member {
             let op = self.forced.pop_front().expect("plan is non-empty");
             let vnext = self.ver + 1;
             let pending = self.await_set();
-            self.role = Role::MgrAwait { op, ver: vnext, pending, oks: BTreeSet::new() };
+            self.role = Role::MgrAwait {
+                op,
+                ver: vnext,
+                pending,
+                oks: BTreeSet::new(),
+            };
             self.mgr_check_complete(ctx);
         } else {
             // No usable plan (or compression off): fresh invitations.
@@ -1235,7 +1296,11 @@ impl Member {
         obs.ver = v;
         obs.mgr = mgr;
         obs.seen_any = true;
-        ctx.note(Note::ObservedView { ver: v, members, mgr });
+        ctx.note(Note::ObservedView {
+            ver: v,
+            members,
+            mgr,
+        });
     }
 
     /// Periodic observer maintenance: subscribe, detect a dead contact,
@@ -1244,7 +1309,12 @@ impl Member {
         if self.lifecycle != Lifecycle::Observing {
             return;
         }
-        let poll_every = self.cfg.observe.as_ref().expect("observer config").poll_every;
+        let poll_every = self
+            .cfg
+            .observe
+            .as_ref()
+            .expect("observer config")
+            .poll_every;
         let now = ctx.now();
         let Some(obs) = self.obs.as_mut() else { return };
         // Fail-over candidates: configured contacts plus every member we
@@ -1279,7 +1349,11 @@ impl Member {
             return;
         }
         let now = ctx.now();
-        let hb_faulty = if self.cfg.gossip { self.faulty_vec() } else { Vec::new() };
+        let hb_faulty = if self.cfg.gossip {
+            self.faulty_vec()
+        } else {
+            Vec::new()
+        };
         let targets: Vec<ProcessId> = self
             .view
             .iter()
@@ -1349,21 +1423,36 @@ impl Member {
             Msg::JoinRequest { joiner } => self.on_join_request(ctx, joiner),
             Msg::Invite { op, ver } => self.on_invite(ctx, from, op, ver),
             Msg::UpdateOk { ver } => self.on_update_ok(ctx, from, ver),
-            Msg::Commit { op, ver, next, faulty, recovered } => {
-                self.on_commit(ctx, from, op, ver, next, faulty, recovered)
-            }
+            Msg::Commit {
+                op,
+                ver,
+                next,
+                faulty,
+                recovered,
+            } => self.on_commit(ctx, from, op, ver, next, faulty, recovered),
             Msg::Interrogate => self.on_interrogate(ctx, from),
             Msg::InterrogateOk { ver, seq, next } => {
                 self.on_interrogate_ok(ctx, from, ver, seq, next)
             }
-            Msg::Propose { rl, ver, invis, faulty } => {
-                self.on_propose(ctx, from, rl, ver, invis, faulty)
-            }
+            Msg::Propose {
+                rl,
+                ver,
+                invis,
+                faulty,
+            } => self.on_propose(ctx, from, rl, ver, invis, faulty),
             Msg::ProposeOk { ver } => self.on_propose_ok(ctx, from, ver),
-            Msg::ReconfCommit { rl, ver, invis, faulty } => {
-                self.on_reconf_commit(ctx, from, rl, ver, invis, faulty)
-            }
-            Msg::Welcome { members, ver, seq, mgr } => self.on_welcome(ctx, members, ver, seq, mgr),
+            Msg::ReconfCommit {
+                rl,
+                ver,
+                invis,
+                faulty,
+            } => self.on_reconf_commit(ctx, from, rl, ver, invis, faulty),
+            Msg::Welcome {
+                members,
+                ver,
+                seq,
+                mgr,
+            } => self.on_welcome(ctx, members, ver, seq, mgr),
             Msg::Subscribe => {
                 if self.lifecycle == Lifecycle::Active {
                     self.subscribers.insert(from);
@@ -1386,7 +1475,13 @@ impl Node<Msg> for Member {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.me = ctx.id();
         if self.obs.is_some() {
-            let at = self.cfg.observe.as_ref().expect("observer config").at.max(1);
+            let at = self
+                .cfg
+                .observe
+                .as_ref()
+                .expect("observer config")
+                .at
+                .max(1);
             ctx.set_timer(at, OBSERVE);
             return;
         }
@@ -1432,7 +1527,13 @@ impl Node<Msg> for Member {
             return;
         }
         if self.lifecycle == Lifecycle::Joining {
-            if let Msg::Welcome { members, ver, seq, mgr } = msg {
+            if let Msg::Welcome {
+                members,
+                ver,
+                seq,
+                mgr,
+            } = msg
+            {
                 self.on_welcome(ctx, members, ver, seq, mgr);
             }
             return;
@@ -1453,14 +1554,12 @@ impl Node<Msg> for Member {
         }
         match tag {
             TICK => self.on_tick(ctx),
-            JOIN => {
-                if self.lifecycle == Lifecycle::Joining {
-                    let join = self.cfg.join.clone().expect("joiner has join config");
-                    for c in &join.contacts {
-                        ctx.send(*c, Msg::JoinRequest { joiner: self.me });
-                    }
-                    ctx.set_timer(join.retry_every, JOIN);
+            JOIN if self.lifecycle == Lifecycle::Joining => {
+                let join = self.cfg.join.clone().expect("joiner has join config");
+                for c in &join.contacts {
+                    ctx.send(*c, Msg::JoinRequest { joiner: self.me });
                 }
+                ctx.set_timer(join.retry_every, JOIN);
             }
             OBSERVE => self.on_observe_tick(ctx),
             _ => {}

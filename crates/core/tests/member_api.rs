@@ -44,7 +44,10 @@ fn seq_records_committed_operations_in_order() {
     sim.crash_at(ProcessId(3), 1_500);
     sim.run_until(12_000);
     let m = sim.node(ProcessId(1));
-    assert_eq!(m.seq(), &[Op::remove(ProcessId(4)), Op::remove(ProcessId(3))]);
+    assert_eq!(
+        m.seq(),
+        &[Op::remove(ProcessId(4)), Op::remove(ProcessId(3))]
+    );
     assert_eq!(m.ver() as usize, m.seq().len());
 }
 
@@ -56,7 +59,10 @@ fn mgr_flag_tracks_the_coordinator_role() {
     assert!(!sim.node(ProcessId(1)).is_mgr());
     sim.crash_at(ProcessId(0), 2_500);
     sim.run_until(15_000);
-    assert!(sim.node(ProcessId(1)).is_mgr(), "successor assumes the role");
+    assert!(
+        sim.node(ProcessId(1)).is_mgr(),
+        "successor assumes the role"
+    );
     assert_eq!(sim.node(ProcessId(2)).mgr(), ProcessId(1));
 }
 

@@ -68,7 +68,11 @@ fn observer_survives_coordinator_change() {
     let (view, ver, mgr) = obs.observed_view().expect("updates arrived");
     assert_eq!(ver, 1);
     assert!(!view.contains(ProcessId(0)));
-    assert_eq!(mgr, ProcessId(1), "the successor is reported as coordinator");
+    assert_eq!(
+        mgr,
+        ProcessId(1),
+        "the successor is reported as coordinator"
+    );
 }
 
 #[test]

@@ -9,7 +9,11 @@ fn mgr_crash_triggers_reconfiguration() {
     for p in sim.living() {
         let m = sim.node(p);
         assert_eq!(m.mgr(), ProcessId(1), "p1 should take over at {p}");
-        assert!(!m.view().contains(ProcessId(0)), "{p} still has p0: {}", m.view());
+        assert!(
+            !m.view().contains(ProcessId(0)),
+            "{p} still has p0: {}",
+            m.view()
+        );
         assert_eq!(m.ver(), 1, "{p}");
     }
     assert_eq!(sim.living().len(), 4);
@@ -63,5 +67,8 @@ fn join_is_processed() {
         assert!(m.view().contains(joiner), "{p} lacks joiner: {}", m.view());
         assert_eq!(m.ver(), 1);
     }
-    assert!(matches!(sim.node(joiner).lifecycle(), gmp_core::Lifecycle::Active));
+    assert!(matches!(
+        sim.node(joiner).lifecycle(),
+        gmp_core::Lifecycle::Active
+    ));
 }

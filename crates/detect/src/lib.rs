@@ -46,7 +46,11 @@ impl HeartbeatDetector {
     /// Panics if `suspect_after` is zero.
     pub fn new(suspect_after: u64) -> Self {
         assert!(suspect_after > 0, "suspect_after must be positive");
-        HeartbeatDetector { suspect_after, last_heard: BTreeMap::new(), suspects: BTreeSet::new() }
+        HeartbeatDetector {
+            suspect_after,
+            last_heard: BTreeMap::new(),
+            suspects: BTreeSet::new(),
+        }
     }
 
     /// The configured silence threshold.

@@ -41,7 +41,11 @@ impl<T: Clone> Default for AbSender<T> {
 impl<T: Clone> AbSender<T> {
     /// A fresh sender starting at bit 0.
     pub fn new() -> Self {
-        AbSender { bit: false, outstanding: None, queue: VecDeque::new() }
+        AbSender {
+            bit: false,
+            outstanding: None,
+            queue: VecDeque::new(),
+        }
     }
 
     /// Queues a payload; returns the frame to transmit now, if the line is
@@ -49,7 +53,10 @@ impl<T: Clone> AbSender<T> {
     pub fn send(&mut self, payload: T) -> Option<AbFrame<T>> {
         if self.outstanding.is_none() {
             self.outstanding = Some(payload.clone());
-            Some(AbFrame { bit: self.bit, payload })
+            Some(AbFrame {
+                bit: self.bit,
+                payload,
+            })
         } else {
             self.queue.push_back(payload);
             None
@@ -64,7 +71,10 @@ impl<T: Clone> AbSender<T> {
             self.bit = !self.bit;
             if let Some(next) = self.queue.pop_front() {
                 self.outstanding = Some(next.clone());
-                return Some(AbFrame { bit: self.bit, payload: next });
+                return Some(AbFrame {
+                    bit: self.bit,
+                    payload: next,
+                });
             }
         }
         None // stale / duplicate ack
@@ -72,9 +82,10 @@ impl<T: Clone> AbSender<T> {
 
     /// Retransmits the outstanding frame (call on timeout).
     pub fn on_timeout(&self) -> Option<AbFrame<T>> {
-        self.outstanding
-            .as_ref()
-            .map(|p| AbFrame { bit: self.bit, payload: p.clone() })
+        self.outstanding.as_ref().map(|p| AbFrame {
+            bit: self.bit,
+            payload: p.clone(),
+        })
     }
 
     /// True when every queued payload has been delivered and acknowledged.
@@ -180,20 +191,33 @@ mod tests {
     #[test]
     fn delivers_exactly_once_under_loss_and_duplication() {
         let payloads: Vec<u32> = (0..100).collect();
-        let cfg = RawConfig { loss: 0.3, duplicate: 0.2, reorder: 0.0 };
+        let cfg = RawConfig {
+            loss: 0.3,
+            duplicate: 0.2,
+            reorder: 0.0,
+        };
         let mut data = RawChannel::new(cfg, 3);
         let mut ack = RawChannel::new(cfg, 4);
         let got = run_exchange(&payloads, &mut data, &mut ack, 1_000_000);
-        assert_eq!(got, payloads, "alternating bit must deliver the exact sequence");
+        assert_eq!(
+            got, payloads,
+            "alternating bit must deliver the exact sequence"
+        );
     }
 
     #[test]
     fn duplicate_frames_are_suppressed() {
         let mut rx = AbReceiver::new();
-        let (d1, a1) = rx.on_frame(AbFrame { bit: false, payload: 7u8 });
+        let (d1, a1) = rx.on_frame(AbFrame {
+            bit: false,
+            payload: 7u8,
+        });
         assert_eq!(d1, Some(7));
         assert!(!a1.bit);
-        let (d2, a2) = rx.on_frame(AbFrame { bit: false, payload: 7u8 });
+        let (d2, a2) = rx.on_frame(AbFrame {
+            bit: false,
+            payload: 7u8,
+        });
         assert_eq!(d2, None, "duplicate must not be redelivered");
         assert!(!a2.bit, "duplicate is re-acked so the sender can advance");
     }
@@ -203,9 +227,15 @@ mod tests {
         let mut tx: AbSender<u8> = AbSender::new();
         let f = tx.send(1).expect("line idle");
         assert!(!f.bit);
-        assert!(tx.on_ack(AbAck { bit: true }).is_none(), "wrong-bit ack ignored");
+        assert!(
+            tx.on_ack(AbAck { bit: true }).is_none(),
+            "wrong-bit ack ignored"
+        );
         assert!(!tx.is_idle());
-        assert!(tx.on_ack(AbAck { bit: false }).is_none(), "queue empty: nothing next");
+        assert!(
+            tx.on_ack(AbAck { bit: false }).is_none(),
+            "queue empty: nothing next"
+        );
         assert!(tx.is_idle());
     }
 

@@ -38,14 +38,23 @@ impl<T: Clone> GbnSender<T> {
     /// Panics if `window` is zero.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        GbnSender { window, base: 0, next_seq: 0, buffer: VecDeque::new(), backlog: VecDeque::new() }
+        GbnSender {
+            window,
+            base: 0,
+            next_seq: 0,
+            buffer: VecDeque::new(),
+            backlog: VecDeque::new(),
+        }
     }
 
     /// Queues a payload; returns the frame to transmit now if the window
     /// has room.
     pub fn send(&mut self, payload: T) -> Option<GbnFrame<T>> {
         if (self.next_seq - self.base) < self.window as u64 {
-            let frame = GbnFrame { seq: self.next_seq, payload: payload.clone() };
+            let frame = GbnFrame {
+                seq: self.next_seq,
+                payload: payload.clone(),
+            };
             self.buffer.push_back((self.next_seq, payload));
             self.next_seq += 1;
             Some(frame)
@@ -67,8 +76,13 @@ impl<T: Clone> GbnSender<T> {
         }
         let mut out = Vec::new();
         while (self.next_seq - self.base) < self.window as u64 {
-            let Some(p) = self.backlog.pop_front() else { break };
-            out.push(GbnFrame { seq: self.next_seq, payload: p.clone() });
+            let Some(p) = self.backlog.pop_front() else {
+                break;
+            };
+            out.push(GbnFrame {
+                seq: self.next_seq,
+                payload: p.clone(),
+            });
             self.buffer.push_back((self.next_seq, p));
             self.next_seq += 1;
         }
@@ -79,7 +93,10 @@ impl<T: Clone> GbnSender<T> {
     pub fn on_timeout(&self) -> Vec<GbnFrame<T>> {
         self.buffer
             .iter()
-            .map(|(seq, p)| GbnFrame { seq: *seq, payload: p.clone() })
+            .map(|(seq, p)| GbnFrame {
+                seq: *seq,
+                payload: p.clone(),
+            })
             .collect()
     }
 
@@ -177,7 +194,11 @@ mod tests {
     #[test]
     fn exact_sequence_under_loss_reorder_duplication() {
         let payloads: Vec<u32> = (0..150).collect();
-        let cfg = RawConfig { loss: 0.25, duplicate: 0.15, reorder: 0.3 };
+        let cfg = RawConfig {
+            loss: 0.25,
+            duplicate: 0.15,
+            reorder: 0.3,
+        };
         let mut data = RawChannel::new(cfg, 5);
         let mut ack = RawChannel::new(cfg, 6);
         let got = run_exchange(&payloads, 8, &mut data, &mut ack, 2_000_000);
@@ -198,7 +219,10 @@ mod tests {
     #[test]
     fn receiver_rejects_out_of_order() {
         let mut rx = GbnReceiver::new();
-        let (d, a) = rx.on_frame(GbnFrame { seq: 3, payload: 9u8 });
+        let (d, a) = rx.on_frame(GbnFrame {
+            seq: 3,
+            payload: 9u8,
+        });
         assert_eq!(d, None);
         assert_eq!(a.next, 0, "cumulative ack re-asserts expectation");
     }
@@ -209,7 +233,10 @@ mod tests {
         tx.send(1);
         tx.send(2);
         assert!(tx.on_ack(GbnAck { next: 2 }).is_empty());
-        assert!(tx.on_ack(GbnAck { next: 1 }).is_empty(), "stale ack is a no-op");
+        assert!(
+            tx.on_ack(GbnAck { next: 1 }).is_empty(),
+            "stale ack is a no-op"
+        );
         assert!(tx.on_ack(GbnAck { next: 0 }).is_empty());
     }
 

@@ -23,7 +23,11 @@ pub struct RawConfig {
 
 impl Default for RawConfig {
     fn default() -> Self {
-        RawConfig { loss: 0.2, duplicate: 0.1, reorder: 0.2 }
+        RawConfig {
+            loss: 0.2,
+            duplicate: 0.1,
+            reorder: 0.2,
+        }
     }
 }
 
@@ -45,12 +49,23 @@ impl<F: Clone> RawChannel<F> {
         for p in [cfg.loss, cfg.duplicate, cfg.reorder] {
             assert!((0.0..1.0).contains(&p), "probabilities must be in [0, 1)");
         }
-        RawChannel { cfg, rng: SmallRng::seed_from_u64(seed), queue: VecDeque::new() }
+        RawChannel {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+            queue: VecDeque::new(),
+        }
     }
 
     /// A perfectly reliable, ordered channel (for control experiments).
     pub fn reliable(seed: u64) -> Self {
-        RawChannel::new(RawConfig { loss: 0.0, duplicate: 0.0, reorder: 0.0 }, seed)
+        RawChannel::new(
+            RawConfig {
+                loss: 0.0,
+                duplicate: 0.0,
+                reorder: 0.0,
+            },
+            seed,
+        )
     }
 
     /// Offers a frame to the channel; it may be lost or duplicated.
@@ -96,7 +111,14 @@ mod tests {
 
     #[test]
     fn lossy_channel_drops_frames() {
-        let mut ch = RawChannel::new(RawConfig { loss: 0.5, duplicate: 0.0, reorder: 0.0 }, 2);
+        let mut ch = RawChannel::new(
+            RawConfig {
+                loss: 0.5,
+                duplicate: 0.0,
+                reorder: 0.0,
+            },
+            2,
+        );
         for i in 0..1000 {
             ch.push(i);
         }
@@ -107,7 +129,14 @@ mod tests {
 
     #[test]
     fn duplicating_channel_duplicates() {
-        let mut ch = RawChannel::new(RawConfig { loss: 0.0, duplicate: 0.5, reorder: 0.0 }, 3);
+        let mut ch = RawChannel::new(
+            RawConfig {
+                loss: 0.0,
+                duplicate: 0.5,
+                reorder: 0.0,
+            },
+            3,
+        );
         for i in 0..1000 {
             ch.push(i);
         }
@@ -117,6 +146,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "probabilities")]
     fn invalid_probability_rejected() {
-        let _ = RawChannel::<u8>::new(RawConfig { loss: 1.5, duplicate: 0.0, reorder: 0.0 }, 0);
+        let _ = RawChannel::<u8>::new(
+            RawConfig {
+                loss: 1.5,
+                duplicate: 0.0,
+                reorder: 0.0,
+            },
+            0,
+        );
     }
 }

@@ -19,7 +19,10 @@ pub struct ViewBuffer<M> {
 impl<M> ViewBuffer<M> {
     /// A buffer for a process currently in view `current`.
     pub fn new(current: Ver) -> Self {
-        ViewBuffer { current, held: BTreeMap::new() }
+        ViewBuffer {
+            current,
+            held: BTreeMap::new(),
+        }
     }
 
     /// The view the owner currently has installed.

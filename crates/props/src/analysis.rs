@@ -93,7 +93,10 @@ impl RunAnalysis {
 
 /// Scans a trace into a [`RunAnalysis`].
 pub fn analyze(trace: &Trace) -> RunAnalysis {
-    let mut a = RunAnalysis { n: trace.n, ..RunAnalysis::default() };
+    let mut a = RunAnalysis {
+        n: trace.n,
+        ..RunAnalysis::default()
+    };
     for (idx, ev) in trace.events.iter().enumerate() {
         match &ev.kind {
             TraceKind::Crash => {
@@ -112,10 +115,19 @@ pub fn analyze(trace: &Trace) -> RunAnalysis {
                     });
                 }
                 Note::Faulty { suspect, .. } => {
-                    a.faulty.push(FaultyRecord { observer: ev.pid, suspect: *suspect, event: idx });
+                    a.faulty.push(FaultyRecord {
+                        observer: ev.pid,
+                        suspect: *suspect,
+                        event: idx,
+                    });
                 }
                 Note::OpApplied { op, ver } => {
-                    a.applied.push(OpRecord { pid: ev.pid, op: *op, ver: *ver, event: idx });
+                    a.applied.push(OpRecord {
+                        pid: ev.pid,
+                        op: *op,
+                        ver: *ver,
+                        event: idx,
+                    });
                 }
                 _ => {}
             },
@@ -144,19 +156,39 @@ mod tests {
 
     #[test]
     fn analysis_collects_records() {
-        let mut t = Trace { n: 3, events: Vec::new() };
+        let mut t = Trace {
+            n: 3,
+            events: Vec::new(),
+        };
         t.events.push(note_event(
             0,
-            Note::ViewInstalled { ver: 0, members: vec![ProcessId(0), ProcessId(1)], mgr: ProcessId(0) },
+            Note::ViewInstalled {
+                ver: 0,
+                members: vec![ProcessId(0), ProcessId(1)],
+                mgr: ProcessId(0),
+            },
         ));
         t.events.push(note_event(
             0,
-            Note::Faulty { suspect: ProcessId(1), source: FaultySource::Observation },
+            Note::Faulty {
+                suspect: ProcessId(1),
+                source: FaultySource::Observation,
+            },
         ));
-        t.events.push(note_event(0, Note::OpApplied { op: Op::remove(ProcessId(1)), ver: 1 }));
         t.events.push(note_event(
             0,
-            Note::ViewInstalled { ver: 1, members: vec![ProcessId(0)], mgr: ProcessId(0) },
+            Note::OpApplied {
+                op: Op::remove(ProcessId(1)),
+                ver: 1,
+            },
+        ));
+        t.events.push(note_event(
+            0,
+            Note::ViewInstalled {
+                ver: 1,
+                members: vec![ProcessId(0)],
+                mgr: ProcessId(0),
+            },
         ));
         t.events.push(TraceEvent {
             time: 5,
@@ -172,7 +204,10 @@ mod tests {
         assert_eq!(a.faulty.len(), 1);
         assert_eq!(a.applied.len(), 1);
         assert!(a.crashed.contains(&ProcessId(1)));
-        assert_eq!(a.functional(), [ProcessId(0), ProcessId(2)].into_iter().collect());
+        assert_eq!(
+            a.functional(),
+            [ProcessId(0), ProcessId(2)].into_iter().collect()
+        );
         assert_eq!(a.final_system_view().unwrap().ver, 1);
         assert_eq!(a.memberships_of_ver(1).len(), 1);
         assert_eq!(a.final_view_of(ProcessId(0)).unwrap().ver, 1);

@@ -82,7 +82,10 @@ impl fmt::Display for Violation {
         match self {
             Violation::Gmp0 { pid } => write!(f, "GMP-0: {pid} has a different initial view"),
             Violation::Gmp1 { pid, target, ver } => {
-                write!(f, "GMP-1: {pid} removed {target} (v{ver}) without believing it faulty")
+                write!(
+                    f,
+                    "GMP-1: {pid} removed {target} (v{ver}) without believing it faulty"
+                )
             }
             Violation::Gmp2 { ver, a, b } => {
                 write!(f, "GMP-2: version {ver} has two memberships {a:?} vs {b:?}")
@@ -94,10 +97,21 @@ impl fmt::Display for Violation {
                 write!(f, "GMP-4: {pid} re-instated {returned} at v{ver}")
             }
             Violation::Gmp5 { observer, suspect } => {
-                write!(f, "GMP-5: {observer} suspected {suspect} but neither left the view")
+                write!(
+                    f,
+                    "GMP-5: {observer} suspected {suspect} but neither left the view"
+                )
             }
-            Violation::Diverged { a, b, view_a, view_b } => {
-                write!(f, "divergence: {a} ended with {view_a:?}, {b} with {view_b:?}")
+            Violation::Diverged {
+                a,
+                b,
+                view_a,
+                view_b,
+            } => {
+                write!(
+                    f,
+                    "divergence: {a} ended with {view_a:?}, {b} with {view_b:?}"
+                )
             }
         }
     }
@@ -161,11 +175,16 @@ pub fn check_gmp1(a: &RunAnalysis) -> Vec<Violation> {
         if rec.op.kind != OpKind::Remove {
             continue;
         }
-        let justified = a.faulty.iter().any(|f| {
-            f.observer == rec.pid && f.suspect == rec.op.target && f.event < rec.event
-        });
+        let justified = a
+            .faulty
+            .iter()
+            .any(|f| f.observer == rec.pid && f.suspect == rec.op.target && f.event < rec.event);
         if !justified {
-            out.push(Violation::Gmp1 { pid: rec.pid, target: rec.op.target, ver: rec.ver });
+            out.push(Violation::Gmp1 {
+                pid: rec.pid,
+                target: rec.op.target,
+                ver: rec.ver,
+            });
         }
     }
     out
@@ -204,7 +223,11 @@ pub fn check_gmp3(a: &RunAnalysis) -> Vec<Violation> {
     for (pid, views) in &a.views {
         for w in views.windows(2) {
             if w[1].ver != w[0].ver + 1 {
-                out.push(Violation::Gmp3 { pid: *pid, from: w[0].ver, to: w[1].ver });
+                out.push(Violation::Gmp3 {
+                    pid: *pid,
+                    from: w[0].ver,
+                    to: w[1].ver,
+                });
             }
         }
     }
@@ -228,7 +251,11 @@ pub fn check_gmp4(a: &RunAnalysis) -> Vec<Violation> {
             }
             for m in &v.members {
                 if removed.contains(m) {
-                    out.push(Violation::Gmp4 { pid: *pid, returned: *m, ver: v.ver });
+                    out.push(Violation::Gmp4 {
+                        pid: *pid,
+                        returned: *m,
+                        ver: v.ver,
+                    });
                 }
             }
             prev = Some(&v.members);
@@ -256,7 +283,10 @@ pub fn check_gmp5(a: &RunAnalysis) -> Vec<Violation> {
         let suspect_out = !final_view.members.contains(&f.suspect);
         let observer_out = !final_view.members.contains(&f.observer);
         if !suspect_out && !observer_out {
-            out.push(Violation::Gmp5 { observer: f.observer, suspect: f.suspect });
+            out.push(Violation::Gmp5 {
+                observer: f.observer,
+                suspect: f.suspect,
+            });
         }
     }
     out
@@ -338,14 +368,25 @@ mod tests {
     }
 
     fn base() -> RunAnalysis {
-        let mut a = RunAnalysis { n: 3, ..Default::default() };
+        let mut a = RunAnalysis {
+            n: 3,
+            ..Default::default()
+        };
         let (p, v) = views(0, &[(0, &[0, 1, 2]), (1, &[0, 1])]);
         a.views.insert(p, v);
         let (p, v) = views(1, &[(0, &[0, 1, 2]), (1, &[0, 1])]);
         a.views.insert(p, v);
         a.crashed.insert(ProcessId(2));
-        a.faulty.push(FaultyRecord { observer: ProcessId(0), suspect: ProcessId(2), event: 0 });
-        a.faulty.push(FaultyRecord { observer: ProcessId(1), suspect: ProcessId(2), event: 0 });
+        a.faulty.push(FaultyRecord {
+            observer: ProcessId(0),
+            suspect: ProcessId(2),
+            event: 0,
+        });
+        a.faulty.push(FaultyRecord {
+            observer: ProcessId(1),
+            suspect: ProcessId(2),
+            event: 0,
+        });
         a.applied.push(OpRecord {
             pid: ProcessId(0),
             op: Op::remove(ProcessId(2)),
@@ -381,7 +422,13 @@ mod tests {
         a.faulty.clear();
         let v = check_gmp1(&a);
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], Violation::Gmp1 { target: ProcessId(2), .. }));
+        assert!(matches!(
+            v[0],
+            Violation::Gmp1 {
+                target: ProcessId(2),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -389,7 +436,11 @@ mod tests {
         let mut a = base();
         a.faulty.clear();
         // Belief recorded after the removal: still a violation.
-        a.faulty.push(FaultyRecord { observer: ProcessId(0), suspect: ProcessId(2), event: 9 });
+        a.faulty.push(FaultyRecord {
+            observer: ProcessId(0),
+            suspect: ProcessId(2),
+            event: 9,
+        });
         assert_eq!(check_gmp1(&a).len(), 1);
     }
 
@@ -416,24 +467,44 @@ mod tests {
         a.views.insert(p, v);
         let vio = check_gmp4(&a);
         assert_eq!(vio.len(), 1);
-        assert!(matches!(vio[0], Violation::Gmp4 { returned: ProcessId(2), .. }));
+        assert!(matches!(
+            vio[0],
+            Violation::Gmp4 {
+                returned: ProcessId(2),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn gmp5_detects_undealt_suspicion() {
         let mut a = base();
         // p0 suspects p1, but both remain in the final view {0, 1}.
-        a.faulty.push(FaultyRecord { observer: ProcessId(0), suspect: ProcessId(1), event: 5 });
+        a.faulty.push(FaultyRecord {
+            observer: ProcessId(0),
+            suspect: ProcessId(1),
+            event: 5,
+        });
         let v = check_gmp5(&a);
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], Violation::Gmp5 { suspect: ProcessId(1), .. }));
+        assert!(matches!(
+            v[0],
+            Violation::Gmp5 {
+                suspect: ProcessId(1),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn gmp5_ignores_failed_observers() {
         let mut a = base();
         // The crashed p2 suspected p0: finessed by the spec.
-        a.faulty.push(FaultyRecord { observer: ProcessId(2), suspect: ProcessId(0), event: 5 });
+        a.faulty.push(FaultyRecord {
+            observer: ProcessId(2),
+            suspect: ProcessId(0),
+            event: 5,
+        });
         assert!(check_gmp5(&a).is_empty());
     }
 
@@ -464,11 +535,30 @@ mod tests {
     fn violations_display() {
         let vs = [
             Violation::Gmp0 { pid: ProcessId(1) },
-            Violation::Gmp1 { pid: ProcessId(0), target: ProcessId(1), ver: 1 },
-            Violation::Gmp2 { ver: 1, a: vec![], b: vec![] },
-            Violation::Gmp3 { pid: ProcessId(0), from: 1, to: 3 },
-            Violation::Gmp4 { pid: ProcessId(0), returned: ProcessId(1), ver: 2 },
-            Violation::Gmp5 { observer: ProcessId(0), suspect: ProcessId(1) },
+            Violation::Gmp1 {
+                pid: ProcessId(0),
+                target: ProcessId(1),
+                ver: 1,
+            },
+            Violation::Gmp2 {
+                ver: 1,
+                a: vec![],
+                b: vec![],
+            },
+            Violation::Gmp3 {
+                pid: ProcessId(0),
+                from: 1,
+                to: 3,
+            },
+            Violation::Gmp4 {
+                pid: ProcessId(0),
+                returned: ProcessId(1),
+                ver: 2,
+            },
+            Violation::Gmp5 {
+                observer: ProcessId(0),
+                suspect: ProcessId(1),
+            },
             Violation::Diverged {
                 a: ProcessId(0),
                 b: ProcessId(1),

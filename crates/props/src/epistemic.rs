@@ -117,7 +117,11 @@ pub fn knowledge_ladder(trace: &Trace) -> Vec<LadderRow> {
             }
             depth = y;
         }
-        rows.push(LadderRow { ver: x, installers: installs.len(), max_depth: depth });
+        rows.push(LadderRow {
+            ver: x,
+            installers: installs.len(),
+            max_depth: depth,
+        });
     }
     rows
 }
@@ -126,7 +130,10 @@ pub fn knowledge_ladder(trace: &Trace) -> Vec<LadderRow> {
 pub fn render_ladder(rows: &[LadderRow]) -> String {
     let mut out = String::from("ver  installers  max-known-depth\n");
     for r in rows {
-        out.push_str(&format!("{:<4} {:<11} {}\n", r.ver, r.installers, r.max_depth));
+        out.push_str(&format!(
+            "{:<4} {:<11} {}\n",
+            r.ver, r.installers, r.max_depth
+        ));
     }
     out
 }
@@ -140,7 +147,10 @@ mod tests {
     // here we only exercise the empty-trace edges.
     #[test]
     fn empty_trace_is_trivially_fine() {
-        let trace = Trace { n: 2, events: Vec::new() };
+        let trace = Trace {
+            n: 2,
+            events: Vec::new(),
+        };
         assert!(check_hindsight(&trace).is_empty());
         assert!(hindsight_holds(&trace));
         assert!(knowledge_ladder(&trace).is_empty());
@@ -149,7 +159,11 @@ mod tests {
 
     #[test]
     fn render_has_rows() {
-        let rows = vec![LadderRow { ver: 1, installers: 3, max_depth: 1 }];
+        let rows = vec![LadderRow {
+            ver: 1,
+            installers: 3,
+            max_depth: 1,
+        }];
         let s = render_ladder(&rows);
         assert!(s.contains("1"));
         assert_eq!(s.lines().count(), 2);

@@ -47,7 +47,12 @@ pub struct Builder {
 
 impl Default for Builder {
     fn default() -> Self {
-        Builder { delay_min: 1, delay_max: 10, seed: 0, fifo: true }
+        Builder {
+            delay_min: 1,
+            delay_max: 10,
+            seed: 0,
+            fifo: true,
+        }
     }
 }
 
@@ -119,8 +124,14 @@ struct InFlight<M> {
 
 enum QKind<M> {
     Deliver(InFlight<M>),
-    Timer { pid: ProcessId, id: TimerId, tag: u64 },
-    Crash { pid: ProcessId },
+    Timer {
+        pid: ProcessId,
+        id: TimerId,
+        tag: u64,
+    },
+    Crash {
+        pid: ProcessId,
+    },
     Control(Control),
 }
 
@@ -128,10 +139,25 @@ enum QKind<M> {
 enum Control {
     Partition(Vec<usize>),
     Heal,
-    Block { from: ProcessId, to: ProcessId, mode: BlockMode },
-    Unblock { from: ProcessId, to: ProcessId },
-    SetDelay { from: ProcessId, to: ProcessId, range: Option<(Time, Time)> },
-    CrashAfterSends { pid: ProcessId, tag: Option<&'static str>, remaining: u32 },
+    Block {
+        from: ProcessId,
+        to: ProcessId,
+        mode: BlockMode,
+    },
+    Unblock {
+        from: ProcessId,
+        to: ProcessId,
+    },
+    SetDelay {
+        from: ProcessId,
+        to: ProcessId,
+        range: Option<(Time, Time)>,
+    },
+    CrashAfterSends {
+        pid: ProcessId,
+        tag: Option<&'static str>,
+        remaining: u32,
+    },
 }
 
 struct Queued<M> {
@@ -159,8 +185,17 @@ impl<M> Ord for Queued<M> {
 
 enum Trigger<M> {
     Start,
-    Recv { from: ProcessId, msg: M, msg_id: u64, tag: &'static str, send_vc: VectorClock, send_lamport: u64 },
-    Timer { tag: u64 },
+    Recv {
+        from: ProcessId,
+        msg: M,
+        msg_id: u64,
+        tag: &'static str,
+        send_vc: VectorClock,
+        send_lamport: u64,
+    },
+    Timer {
+        tag: u64,
+    },
 }
 
 /// The deterministic simulator. See the crate docs for an example.
@@ -190,7 +225,10 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
     ///
     /// Panics if the simulation has already started.
     pub fn add_node(&mut self, node: N) -> ProcessId {
-        assert!(!self.started, "cannot add nodes after the simulation started");
+        assert!(
+            !self.started,
+            "cannot add nodes after the simulation started"
+        );
         let pid = ProcessId(self.slots.len() as u32);
         self.slots.push(Slot {
             node: Some(node),
@@ -238,12 +276,18 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
 
     /// Immutable access to a node's protocol state (for assertions).
     pub fn node(&self, pid: ProcessId) -> &N {
-        self.slots[pid.index()].node.as_ref().expect("node is present outside dispatch")
+        self.slots[pid.index()]
+            .node
+            .as_ref()
+            .expect("node is present outside dispatch")
     }
 
     /// Mutable access to a node's protocol state (test setup only).
     pub fn node_mut(&mut self, pid: ProcessId) -> &mut N {
-        self.slots[pid.index()].node.as_mut().expect("node is present outside dispatch")
+        self.slots[pid.index()]
+            .node
+            .as_mut()
+            .expect("node is present outside dispatch")
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -272,7 +316,14 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
         tag: Option<&'static str>,
         sends: u32,
     ) {
-        self.enqueue(at, QKind::Control(Control::CrashAfterSends { pid, tag, remaining: sends }));
+        self.enqueue(
+            at,
+            QKind::Control(Control::CrashAfterSends {
+                pid,
+                tag,
+                remaining: sends,
+            }),
+        );
     }
 
     /// Blocks the directed link `from -> to` starting at `at`.
@@ -403,7 +454,10 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
         match self.net.fate(inf.from, inf.to) {
             Some(BlockMode::Hold) => {
                 self.stats.held += 1;
-                self.held.entry((inf.from.0, inf.to.0)).or_default().push(inf);
+                self.held
+                    .entry((inf.from.0, inf.to.0))
+                    .or_default()
+                    .push(inf);
                 return;
             }
             Some(BlockMode::Drop) => {
@@ -413,8 +467,26 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
             None => {}
         }
         self.stats.record_delivery(inf.tag);
-        let InFlight { from, to, msg, msg_id, tag, send_vc, send_lamport } = inf;
-        self.invoke(to, Trigger::Recv { from, msg, msg_id, tag, send_vc, send_lamport });
+        let InFlight {
+            from,
+            to,
+            msg,
+            msg_id,
+            tag,
+            send_vc,
+            send_lamport,
+        } = inf;
+        self.invoke(
+            to,
+            Trigger::Recv {
+                from,
+                msg,
+                msg_id,
+                tag,
+                send_vc,
+                send_lamport,
+            },
+        );
     }
 
     fn apply_control(&mut self, c: Control) {
@@ -430,7 +502,11 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
                 self.release_unblocked();
             }
             Control::SetDelay { from, to, range } => self.net.set_delay_override(from, to, range),
-            Control::CrashAfterSends { pid, tag, remaining } => {
+            Control::CrashAfterSends {
+                pid,
+                tag,
+                remaining,
+            } => {
                 if remaining == 0 {
                     self.crash_at(pid, self.time);
                 } else {
@@ -448,7 +524,9 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
                 let msgs = self.held.remove(&(f, t)).unwrap_or_default();
                 for inf in msgs {
                     self.stats.held = self.stats.held.saturating_sub(1);
-                    let at = self.net.schedule(&mut self.rng, self.time, inf.from, inf.to);
+                    let at = self
+                        .net
+                        .schedule(&mut self.rng, self.time, inf.from, inf.to);
                     self.enqueue(at, QKind::Deliver(inf));
                 }
             }
@@ -477,7 +555,14 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
         // Stamp and record the triggering event, then run the handler.
         let (call, pre_event): (HandlerCall, TraceKind) = match trigger {
             Trigger::Start => (HandlerCall::Start, TraceKind::Start),
-            Trigger::Recv { from, msg, msg_id, tag, send_vc, send_lamport } => {
+            Trigger::Recv {
+                from,
+                msg,
+                msg_id,
+                tag,
+                send_vc,
+                send_lamport,
+            } => {
                 let slot = &mut self.slots[idx];
                 slot.vc.observe(&send_vc);
                 slot.lamport.merge(send_lamport);
@@ -544,7 +629,10 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
             }
             match action {
                 Action::Send { to, msg } => {
-                    assert!(to.index() < self.slots.len(), "send to unknown process {to}");
+                    assert!(
+                        to.index() < self.slots.len(),
+                        "send to unknown process {to}"
+                    );
                     let tag = msg.tag();
                     self.msg_counter += 1;
                     let msg_id = self.msg_counter;
@@ -694,8 +782,18 @@ mod tests {
         let mut b = build(5, 9);
         a.run_until(500);
         b.run_until(500);
-        let ta: Vec<_> = a.trace().events.iter().map(|e| (e.time, e.pid, format!("{:?}", e.kind))).collect();
-        let tb: Vec<_> = b.trace().events.iter().map(|e| (e.time, e.pid, format!("{:?}", e.kind))).collect();
+        let ta: Vec<_> = a
+            .trace()
+            .events
+            .iter()
+            .map(|e| (e.time, e.pid, format!("{:?}", e.kind)))
+            .collect();
+        let tb: Vec<_> = b
+            .trace()
+            .events
+            .iter()
+            .map(|e| (e.time, e.pid, format!("{:?}", e.kind)))
+            .collect();
         assert_eq!(ta, tb);
     }
 
@@ -747,7 +845,10 @@ mod tests {
     #[test]
     fn partition_holds_cross_traffic() {
         let mut sim = build(4, 6);
-        sim.partition_at(&[&[ProcessId(0), ProcessId(1)], &[ProcessId(2), ProcessId(3)]], 0);
+        sim.partition_at(
+            &[&[ProcessId(0), ProcessId(1)], &[ProcessId(2), ProcessId(3)]],
+            0,
+        );
         sim.run_until(500);
         // Only p1's pong crossed (p2, p3 unreachable).
         assert_eq!(sim.node(ProcessId(0)).pongs, 1);

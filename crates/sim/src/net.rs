@@ -41,7 +41,10 @@ pub(crate) struct NetState {
 
 impl NetState {
     pub(crate) fn new(delay_min: Time, delay_max: Time, fifo: bool) -> Self {
-        assert!(delay_min <= delay_max, "delay_min must not exceed delay_max");
+        assert!(
+            delay_min <= delay_max,
+            "delay_min must not exceed delay_max"
+        );
         assert!(delay_min >= 1, "delays must be at least one tick");
         NetState {
             delay_min,
@@ -74,7 +77,13 @@ impl NetState {
 
     /// Samples a delivery time for a message sent `from -> to` at `now`,
     /// maintaining per-link FIFO order when enabled.
-    pub(crate) fn schedule(&mut self, rng: &mut SmallRng, now: Time, from: ProcessId, to: ProcessId) -> Time {
+    pub(crate) fn schedule(
+        &mut self,
+        rng: &mut SmallRng,
+        now: Time,
+        from: ProcessId,
+        to: ProcessId,
+    ) -> Time {
         let (lo, hi) = self
             .delay_override
             .get(&(from.0, to.0))
@@ -104,7 +113,12 @@ impl NetState {
         self.partition = groups;
     }
 
-    pub(crate) fn set_delay_override(&mut self, from: ProcessId, to: ProcessId, range: Option<(Time, Time)>) {
+    pub(crate) fn set_delay_override(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        range: Option<(Time, Time)>,
+    ) {
         match range {
             Some((lo, hi)) => {
                 assert!(lo >= 1 && lo <= hi, "invalid delay override");

@@ -49,7 +49,11 @@ impl Stats {
     where
         F: FnMut(&str) -> bool,
     {
-        self.sends.iter().filter(|(t, _)| filter(t)).map(|(_, c)| *c).sum()
+        self.sends
+            .iter()
+            .filter(|(t, _)| filter(t))
+            .map(|(_, c)| *c)
+            .sum()
     }
 
     /// All (tag, send-count) pairs, sorted by tag.

@@ -69,7 +69,10 @@ pub struct Trace {
 
 impl Trace {
     pub(crate) fn new(n: usize) -> Self {
-        Trace { n, events: Vec::new() }
+        Trace {
+            n,
+            events: Vec::new(),
+        }
     }
 
     /// Iterator over all semantic notes, with their event metadata.
@@ -91,7 +94,10 @@ impl Trace {
     pub fn to_event_log(&self) -> EventLog {
         let mut log = EventLog::new(self.n);
         for ev in &self.events {
-            log.push(LoggedEvent { pid: ev.pid, vc: ev.vc.clone() });
+            log.push(LoggedEvent {
+                pid: ev.pid,
+                vc: ev.vc.clone(),
+            });
         }
         log
     }
@@ -142,7 +148,8 @@ mod tests {
     fn notes_filtering() {
         let mut t = Trace::new(2);
         t.events.push(ev(0, TraceKind::Start));
-        t.events.push(ev(0, TraceKind::Note(Note::Custom("x".into()))));
+        t.events
+            .push(ev(0, TraceKind::Note(Note::Custom("x".into()))));
         t.events.push(ev(1, TraceKind::Start));
         assert_eq!(t.notes().count(), 1);
         assert_eq!(t.history(ProcessId(0)).count(), 2);
@@ -152,7 +159,14 @@ mod tests {
     fn render_selected() {
         let mut t = Trace::new(1);
         t.events.push(ev(0, TraceKind::Start));
-        t.events.push(ev(0, TraceKind::Send { to: ProcessId(1), msg_id: 1, tag: "x" }));
+        t.events.push(ev(
+            0,
+            TraceKind::Send {
+                to: ProcessId(1),
+                msg_id: 1,
+                tag: "x",
+            },
+        ));
         let s = t.render(|e| matches!(e.kind, TraceKind::Send { .. }));
         assert!(s.contains("send x -> p1"));
         assert!(!s.contains("start"));

@@ -91,12 +91,18 @@ pub struct Op {
 impl Op {
     /// Convenience constructor for `remove(target)`.
     pub fn remove(target: ProcessId) -> Self {
-        Op { kind: OpKind::Remove, target }
+        Op {
+            kind: OpKind::Remove,
+            target,
+        }
     }
 
     /// Convenience constructor for `add(target)`.
     pub fn add(target: ProcessId) -> Self {
-        Op { kind: OpKind::Add, target }
+        Op {
+            kind: OpKind::Add,
+            target,
+        }
     }
 
     /// True when this operation removes `p`.
@@ -134,13 +140,21 @@ pub struct NextEntry {
 impl NextEntry {
     /// A concrete expectation `(ops : coord : ver)`.
     pub fn concrete(ops: Vec<Op>, coord: ProcessId, ver: Ver) -> Self {
-        NextEntry { ops: Some(ops), coord, ver: Some(ver) }
+        NextEntry {
+            ops: Some(ops),
+            coord,
+            ver: Some(ver),
+        }
     }
 
     /// The placeholder `(? : coord : ?)` appended when responding to an
     /// interrogation (§4.4).
     pub fn placeholder(coord: ProcessId) -> Self {
-        NextEntry { ops: None, coord, ver: None }
+        NextEntry {
+            ops: None,
+            coord,
+            ver: None,
+        }
     }
 
     /// True if this entry is a `(? : r : ?)` placeholder.

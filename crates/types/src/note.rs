@@ -139,7 +139,9 @@ impl fmt::Display for Note {
                 write!(f, "]")
             }
             Note::BecameMgr { ver } => write!(f, "became Mgr at v{ver}"),
-            Note::ReconfStarted { from_ver } => write!(f, "reconfiguration started from v{from_ver}"),
+            Note::ReconfStarted { from_ver } => {
+                write!(f, "reconfiguration started from v{from_ver}")
+            }
             Note::Quit { reason } => write!(f, "quit: {reason:?}"),
             Note::Isolated { from } => write!(f, "isolated message from {from}"),
             Note::JoinRequested { joiner } => write!(f, "join requested by {joiner}"),
@@ -165,16 +167,32 @@ mod tests {
     #[test]
     fn notes_display_nonempty() {
         let notes = [
-            Note::Faulty { suspect: ProcessId(1), source: FaultySource::Observation },
+            Note::Faulty {
+                suspect: ProcessId(1),
+                source: FaultySource::Observation,
+            },
             Note::Operating { id: ProcessId(2) },
-            Note::OpApplied { op: Op::remove(ProcessId(1)), ver: 3 },
-            Note::ViewInstalled { ver: 1, members: vec![ProcessId(0)], mgr: ProcessId(0) },
+            Note::OpApplied {
+                op: Op::remove(ProcessId(1)),
+                ver: 3,
+            },
+            Note::ViewInstalled {
+                ver: 1,
+                members: vec![ProcessId(0)],
+                mgr: ProcessId(0),
+            },
             Note::BecameMgr { ver: 2 },
             Note::ReconfStarted { from_ver: 1 },
-            Note::Quit { reason: QuitReason::Excluded },
-            Note::Quit { reason: QuitReason::NoMajority { got: 1, needed: 3 } },
+            Note::Quit {
+                reason: QuitReason::Excluded,
+            },
+            Note::Quit {
+                reason: QuitReason::NoMajority { got: 1, needed: 3 },
+            },
             Note::Isolated { from: ProcessId(9) },
-            Note::JoinRequested { joiner: ProcessId(8) },
+            Note::JoinRequested {
+                joiner: ProcessId(8),
+            },
             Note::Custom("hello".into()),
         ];
         for n in &notes {

@@ -7,10 +7,10 @@ use std::fmt;
 ///
 /// The paper bases process rank on "seniority with respect to duration in the
 /// system view" (§4.2, footnote 12): the longest-standing member — initially
-/// `Mgr` — has the highest rank `n`, the most recently added member has rank
-/// 1. Removing a member "increases the rank of all lower-ranked processes by
-/// one", which is automatic here because rank is derived from position.
-/// Joins append at the junior end.
+/// `Mgr` — has the highest rank `n`, and the most recently added member has
+/// rank `1`. Removing a member "increases the rank of all lower-ranked
+/// processes by one", which is automatic here because rank is derived from
+/// position. Joins append at the junior end.
 ///
 /// Two views are equal iff they contain the same members in the same
 /// seniority order.
@@ -29,17 +29,16 @@ impl View {
     /// most once.
     pub fn new(members: Vec<ProcessId>) -> Self {
         for (i, m) in members.iter().enumerate() {
-            assert!(
-                !members[..i].contains(m),
-                "duplicate member {m} in view"
-            );
+            assert!(!members[..i].contains(m), "duplicate member {m} in view");
         }
         View { members }
     }
 
     /// The empty view (used by processes that have not yet joined).
     pub fn empty() -> Self {
-        View { members: Vec::new() }
+        View {
+            members: Vec::new(),
+        }
     }
 
     /// Number of members.
@@ -248,6 +247,88 @@ mod tests {
     #[should_panic(expected = "duplicate member")]
     fn duplicate_members_rejected() {
         let _ = v(&[0, 1, 0]);
+    }
+
+    #[test]
+    fn singleton_view_edge_cases() {
+        // A group of one: the sole member is both Mgr (rank n = 1) and the
+        // junior-most member, and μ({p}) = 1 — it is its own majority.
+        let view = v(&[3]);
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.rank(ProcessId(3)), Some(1));
+        assert_eq!(view.most_senior(), Some(ProcessId(3)));
+        assert_eq!(view.majority(), 1);
+        assert_eq!(view.seniors_of(ProcessId(3)), &[] as &[ProcessId]);
+    }
+
+    #[test]
+    fn empty_view_edge_cases() {
+        // Processes that have not joined yet hold the empty view: no ranks,
+        // no Mgr, and μ(∅) = 1 (a vacuous quorum no one can reach).
+        let view = View::empty();
+        assert!(view.is_empty());
+        assert_eq!(view.rank(ProcessId(0)), None);
+        assert_eq!(view.most_senior(), None);
+        assert_eq!(view.majority(), 1);
+    }
+
+    #[test]
+    fn joiner_not_in_view_has_no_rank() {
+        // "the rank of an excluded process is undefined" (§4.2) — and a
+        // joiner's rank is equally undefined until its add commits.
+        let mut view = v(&[0, 1, 2]);
+        let joiner = ProcessId(7);
+        assert!(!view.contains(joiner));
+        assert_eq!(view.rank(joiner), None);
+        assert_eq!(view.index_of(joiner), None);
+        assert_eq!(view.seniors_of(joiner), &[] as &[ProcessId]);
+        // Once admitted, the joiner enters at the junior end with rank 1,
+        // and existing ranks are untouched.
+        assert!(view.push_junior(joiner));
+        assert_eq!(view.rank(joiner), Some(1));
+        assert_eq!(view.rank(ProcessId(0)), Some(4));
+        assert_eq!(view.rank(ProcessId(2)), Some(2));
+    }
+
+    #[test]
+    fn rank_after_exclusion_follows_seniority_rule() {
+        // §4.2: excluding a member promotes exactly the lower-ranked
+        // (junior) processes by one; seniors keep their rank only if no one
+        // senior to them left. The excluded process's rank becomes None.
+        let mut view = v(&[0, 1, 2, 3, 4]);
+        assert!(view.remove(ProcessId(2)));
+        assert_eq!(view.rank(ProcessId(2)), None);
+        // Seniors of the excluded process: ranks drop by one with n.
+        assert_eq!(view.rank(ProcessId(0)), Some(4));
+        assert_eq!(view.rank(ProcessId(1)), Some(3));
+        // Juniors: unchanged absolute rank (promoted relative to n).
+        assert_eq!(view.rank(ProcessId(3)), Some(2));
+        assert_eq!(view.rank(ProcessId(4)), Some(1));
+        // Majority shrinks with the view: μ(5) = 3 before, μ(4) = 3 after.
+        assert_eq!(view.majority(), 3);
+        assert!(view.remove(ProcessId(4)));
+        assert_eq!(view.majority(), 2);
+    }
+
+    #[test]
+    fn majority_of_neighbouring_sizes_always_intersects() {
+        // μ(n) + μ(n+1) > n+1 for every reachable size (Prop. 7.1), checked
+        // on View::majority itself rather than majority_of.
+        let mut view = View::empty();
+        for i in 0..64u32 {
+            let mu_before = view.majority();
+            let n_before = view.len();
+            assert!(view.push_junior(ProcessId(i)));
+            // Except when growing from the empty view (μ(∅) is vacuous),
+            // quorums of neighbouring views must overlap.
+            if n_before > 0 {
+                assert!(
+                    mu_before + view.majority() > view.len(),
+                    "disjoint quorums possible at n = {}",
+                    view.len()
+                );
+            }
+        }
     }
 
     #[test]

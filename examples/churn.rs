@@ -10,8 +10,8 @@
 //! additions and exclusions, one commit per version, without ever pausing
 //! the group.
 
-use gmp::protocol::{ClusterBuilder, Config, JoinConfig};
 use gmp::props::{analyze, check_all};
+use gmp::protocol::{ClusterBuilder, Config, JoinConfig};
 use gmp::sim::Builder;
 use gmp::types::ProcessId;
 

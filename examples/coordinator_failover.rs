@@ -10,8 +10,8 @@
 //! three-phase reconfiguration algorithm then elects the next-ranked member
 //! and restores a unique system view, honouring the interrupted commit.
 
-use gmp::protocol::cluster;
 use gmp::props::{analyze, check_all};
+use gmp::protocol::cluster;
 use gmp::types::ProcessId;
 
 fn main() {

@@ -46,8 +46,14 @@ fn main() {
         }
     }
 
-    let a = sim.node(ProcessId(5)).observed_view().expect("observer 5 is live");
-    let b = sim.node(ProcessId(6)).observed_view().expect("observer 6 is live");
+    let a = sim
+        .node(ProcessId(5))
+        .observed_view()
+        .expect("observer 5 is live");
+    let b = sim
+        .node(ProcessId(6))
+        .observed_view()
+        .expect("observer 6 is live");
     println!("\nobserver p5 final: v{} {}", a.1, a.0);
     println!("observer p6 final: v{} {}", b.1, b.0);
 

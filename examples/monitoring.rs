@@ -41,8 +41,7 @@ fn main() {
 
     println!("per-server failure feeds (version, failed server):");
     for (server, feed) in &feeds {
-        let items: Vec<String> =
-            feed.iter().map(|(v, t)| format!("v{v}:{t} DOWN")).collect();
+        let items: Vec<String> = feed.iter().map(|(v, t)| format!("v{v}:{t} DOWN")).collect();
         println!("  {}: {}", server, items.join("  "));
     }
 

@@ -11,8 +11,8 @@
 //! eventually suspects the other; only the side holding a majority of the
 //! current view can commit the exclusions.
 
-use gmp::protocol::cluster;
 use gmp::props::check_safety;
+use gmp::protocol::cluster;
 use gmp::types::ProcessId;
 
 fn main() {
@@ -20,7 +20,13 @@ fn main() {
 
     // Minority {p0 (the coordinator!), p1} versus majority {p2..p6}.
     let minority = [ProcessId(0), ProcessId(1)];
-    let majority = [ProcessId(2), ProcessId(3), ProcessId(4), ProcessId(5), ProcessId(6)];
+    let majority = [
+        ProcessId(2),
+        ProcessId(3),
+        ProcessId(4),
+        ProcessId(5),
+        ProcessId(6),
+    ];
     sim.partition_at(&[&minority, &majority], 500);
 
     sim.run_until(20_000);
@@ -40,7 +46,11 @@ fn main() {
     // unreachable minority.
     for p in majority {
         let m = sim.node(p);
-        assert_eq!(m.view().len(), 5, "{p} should see the 5-member majority view");
+        assert_eq!(
+            m.view().len(),
+            5,
+            "{p} should see the 5-member majority view"
+        );
         assert_eq!(m.mgr(), ProcessId(2));
         assert!(!m.view().contains(ProcessId(0)));
     }

@@ -9,8 +9,8 @@
 //! survivors agree on — then verifies the run against the paper's GMP
 //! specification.
 
-use gmp::protocol::cluster;
 use gmp::props::check_all;
+use gmp::protocol::cluster;
 use gmp::sim::TraceKind;
 use gmp::types::{Note, ProcessId};
 

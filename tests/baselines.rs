@@ -58,7 +58,10 @@ fn figure_11_three_phase_resolves_identically_to_the_witness() {
     // Version 1 is unique and equals the invisible commit: remove(Mgr).
     let cast = FIG11_CAST;
     for v in a.memberships_of_ver(1) {
-        assert!(!v.members.contains(&cast.mgr), "v1 must exclude the old Mgr");
+        assert!(
+            !v.members.contains(&cast.mgr),
+            "v1 must exclude the old Mgr"
+        );
         assert!(v.members.contains(&cast.z), "Mgr's stale plan must NOT win");
     }
 }

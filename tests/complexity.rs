@@ -41,8 +41,7 @@ fn condensed_rounds_save_about_half_an_invitation_per_exclusion() {
         // factor-2 band around that (views shrink during the burst).
         let predicted = row.n as f64 / 2.0 - 1.0;
         assert!(
-            row.saved_per_exclusion > predicted * 0.5
-                && row.saved_per_exclusion < predicted * 3.0,
+            row.saved_per_exclusion > predicted * 0.5 && row.saved_per_exclusion < predicted * 3.0,
             "n={}: saved {:.1}/exclusion vs predicted ~{:.1}",
             row.n,
             row.saved_per_exclusion,
@@ -71,7 +70,10 @@ fn worst_case_cascade_is_quadratic_not_linear() {
 fn symmetric_ratio_grows_linearly_with_n() {
     let rows = e5_symmetric(&[8, 16, 32], 5);
     assert!(rows[0].ratio > 2.0);
-    assert!(rows[1].ratio > rows[0].ratio * 1.5, "ratio must grow with n");
+    assert!(
+        rows[1].ratio > rows[0].ratio * 1.5,
+        "ratio must grow with n"
+    );
     assert!(rows[2].ratio > rows[1].ratio * 1.5);
 }
 
@@ -80,9 +82,16 @@ fn tolerance_table_matches_paper_bounds() {
     let rows = e7_tolerance(6);
     assert_eq!(rows.len(), 3);
     for row in &rows {
-        assert!(row.recovered, "scenario '{}' had the wrong outcome", row.scenario);
+        assert!(
+            row.recovered,
+            "scenario '{}' had the wrong outcome",
+            row.scenario
+        );
     }
-    assert_eq!(rows[0].views_committed, 4, "basic algorithm removes all n-1");
+    assert_eq!(
+        rows[0].views_committed, 4,
+        "basic algorithm removes all n-1"
+    );
     assert_eq!(rows[1].views_committed, 2, "minority failures all excluded");
     assert_eq!(rows[2].views_committed, 0, "majority loss blocks");
 }

@@ -15,7 +15,10 @@ fn equation_4_hindsight_on_sequential_exclusions() {
     sim.crash_at(ProcessId(3), 3_000);
     sim.run_until(15_000);
     let records = check_hindsight(sim.trace());
-    assert!(!records.is_empty(), "versions >= 2 must have been installed");
+    assert!(
+        !records.is_empty(),
+        "versions >= 2 must have been installed"
+    );
     for r in &records {
         assert!(
             r.knows_previous,

@@ -1,8 +1,8 @@
 //! Integration: the join procedure (§7) and its interleavings with
 //! failures and coordinator changes.
 
-use gmp::protocol::{ClusterBuilder, Config, JoinConfig, Lifecycle};
 use gmp::props::{analyze, check_all, check_safety};
+use gmp::protocol::{ClusterBuilder, Config, JoinConfig, Lifecycle};
 use gmp::sim::Builder;
 use gmp::types::ProcessId;
 
@@ -25,7 +25,10 @@ fn single_join_across_seeds() {
         sim.run_until(10_000);
         check_all(sim.trace()).assert_ok();
         let joiner = ProcessId(4);
-        assert!(matches!(sim.node(joiner).lifecycle(), Lifecycle::Active), "seed {seed}");
+        assert!(
+            matches!(sim.node(joiner).lifecycle(), Lifecycle::Active),
+            "seed {seed}"
+        );
         for p in sim.living() {
             assert!(sim.node(p).view().contains(joiner), "seed {seed} at {p}");
         }
@@ -37,7 +40,11 @@ fn joiner_is_most_junior() {
     let mut sim = joining_cluster(4, 3, &[(500, 2)]);
     sim.run_until(10_000);
     let m = sim.node(ProcessId(0));
-    assert_eq!(m.view().rank(ProcessId(4)), Some(1), "joiners enter at rank 1");
+    assert_eq!(
+        m.view().rank(ProcessId(4)),
+        Some(1),
+        "joiners enter at rank 1"
+    );
     assert_eq!(m.view().rank(ProcessId(0)), Some(5));
 }
 
@@ -93,7 +100,11 @@ fn mgr_dies_right_after_committing_the_add() {
         let living = sim.living();
         let reference = sim.node(living[0]).view().clone();
         for &p in &living {
-            assert_eq!(sim.node(p).view(), &reference, "seed {seed} diverged at {p}");
+            assert_eq!(
+                sim.node(p).view(),
+                &reference,
+                "seed {seed} diverged at {p}"
+            );
         }
     }
 }

@@ -10,7 +10,9 @@ use gmp::link::ViewBuffer;
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    // Explicit case budget: keeps CI runtime bounded, and failures are
+    // reproducible via the per-case seeds recorded in proptest-regressions/.
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
     /// The alternating-bit protocol delivers the exact payload sequence
     /// whatever the channel does (short of total loss).

@@ -1,8 +1,8 @@
 //! Integration: partitions and degraded links. In the model a partition is
 //! indistinguishable from unbounded delay, so messages are held, not lost.
 
-use gmp::protocol::{cluster, cluster_with, Config};
 use gmp::props::{analyze, check_safety};
+use gmp::protocol::{cluster, cluster_with, Config};
 use gmp::sim::BlockMode;
 use gmp::types::ProcessId;
 

@@ -12,6 +12,10 @@ fn arb_view(max: u32) -> impl Strategy<Value = View> {
 }
 
 proptest! {
+    // Explicit case budget: keeps CI runtime bounded, and failures are
+    // reproducible via the per-case seeds recorded in proptest-regressions/.
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
     /// Rank is a bijection onto 1..=n with the most senior at n.
     #[test]
     fn rank_is_bijective(view in arb_view(24)) {

@@ -2,14 +2,17 @@
 //! sets, random crash times — the GMP safety clauses and convergence must
 //! hold on every schedule.
 
-use gmp::protocol::{cluster, cluster_with, ClusterBuilder, Config, JoinConfig};
 use gmp::props::{check_all, check_safety};
+use gmp::protocol::{cluster, cluster_with, ClusterBuilder, Config, JoinConfig};
 use gmp::sim::Builder;
 use gmp::types::ProcessId;
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Explicit case budget: each case is a full simulated protocol run, so
+    // the budget dominates CI wall-clock; failures are reproducible via the
+    // per-case seeds recorded in proptest-regressions/.
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
     /// Any minority subset of a 7-member group may crash at arbitrary
     /// times; the survivors must converge and the full spec must hold.

@@ -2,8 +2,8 @@
 //! algorithm, including partial broadcasts and cascades of dying
 //! initiators.
 
-use gmp::protocol::cluster;
 use gmp::props::{analyze, check_all, check_safety};
+use gmp::protocol::cluster;
 use gmp::types::{Note, ProcessId};
 
 #[test]
@@ -15,7 +15,11 @@ fn idle_mgr_crash_is_replaced_by_next_in_rank() {
         check_all(sim.trace()).assert_ok();
         for p in sim.living() {
             let m = sim.node(p);
-            assert_eq!(m.mgr(), ProcessId(1), "seed {seed}: successor is next in rank");
+            assert_eq!(
+                m.mgr(),
+                ProcessId(1),
+                "seed {seed}: successor is next in rank"
+            );
             assert_eq!(m.ver(), 1);
             assert!(!m.view().contains(ProcessId(0)));
         }
@@ -54,8 +58,14 @@ fn mgr_crash_mid_commit_broadcast_every_cut_point() {
             assert!(!living.is_empty());
             for &p in &living {
                 let m = sim.node(p);
-                assert!(!m.view().contains(ProcessId(0)), "sends={sends} seed={seed}");
-                assert!(!m.view().contains(ProcessId(4)), "sends={sends} seed={seed}");
+                assert!(
+                    !m.view().contains(ProcessId(0)),
+                    "sends={sends} seed={seed}"
+                );
+                assert!(
+                    !m.view().contains(ProcessId(4)),
+                    "sends={sends} seed={seed}"
+                );
             }
         }
     }
@@ -137,7 +147,10 @@ fn old_mgr_in_flight_plan_is_honoured() {
         // Both the original target and the dead Mgr are out.
         for p in sim.living() {
             let m = sim.node(p);
-            assert!(!m.view().contains(ProcessId(5)), "seed {seed}: plan dropped");
+            assert!(
+                !m.view().contains(ProcessId(5)),
+                "seed {seed}: plan dropped"
+            );
             assert!(!m.view().contains(ProcessId(0)), "seed {seed}");
         }
     }
@@ -163,7 +176,11 @@ fn straggler_behind_two_partial_commits_catches_up() {
         let ref_ver = sim.node(living[0]).ver();
         for &p in &living {
             assert_eq!(sim.node(p).view(), &reference, "seed {seed}: {p} diverged");
-            assert_eq!(sim.node(p).ver(), ref_ver, "seed {seed}: {p} stalled behind");
+            assert_eq!(
+                sim.node(p).ver(),
+                ref_ver,
+                "seed {seed}: {p} stalled behind"
+            );
         }
         for dead in 0..3u32 {
             assert!(!reference.contains(ProcessId(dead)), "seed {seed}");

@@ -1,8 +1,8 @@
 //! Integration: single and multiple member failures under the full
 //! algorithm, checked against the complete GMP specification.
 
-use gmp::protocol::{cluster, cluster_with, Config};
 use gmp::props::{analyze, check_all};
+use gmp::protocol::{cluster, cluster_with, Config};
 use gmp::types::ProcessId;
 
 #[test]

@@ -1,0 +1,634 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so this crate reimplements
+//! exactly the slice of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`Strategy`](strategy::Strategy) with `prop_map`, integer/float range
+//!   strategies, tuple strategies, [`collection::vec`],
+//!   [`collection::btree_set`] and [`bool::ANY`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`,
+//! * [`ProptestConfig`](test_runner::ProptestConfig) with a `cases` budget,
+//! * failure persistence: every case runs from its own 64-bit seed; a
+//!   panicking case appends `cc <seed>` to
+//!   `$CARGO_MANIFEST_DIR/proptest-regressions/<test-path>.txt` (mirroring
+//!   upstream's regression files), and recorded seeds are replayed before
+//!   fresh cases on the next run.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the standard assertion message plus its reproduction seed.
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+    use std::path::PathBuf;
+
+    /// Marker returned (via `Err`) when `prop_assume!` rejects a case.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Rejected;
+
+    /// Execution budget for one `proptest!` function.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+        /// Upper bound on cases rejected by `prop_assume!` before the run
+        /// stops early rather than spinning.
+        pub max_global_rejects: u32,
+        /// Whether failing case seeds are recorded in (and replayed from)
+        /// `proptest-regressions/`.
+        pub failure_persistence: bool,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases with the default reject budget.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+                failure_persistence: true,
+            }
+        }
+    }
+
+    /// Deterministic per-case RNG.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// RNG reproducing exactly the case identified by `seed`.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                inner: SmallRng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// Base seed for a test function: an FNV-1a hash of its path, XORed
+    /// with the decimal `PROPTEST_SEED` environment variable when present,
+    /// so a whole run can be re-randomized without losing reproducibility.
+    pub fn base_seed(test_path: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(v) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = v.parse::<u64>() {
+                h ^= extra.rotate_left(17);
+            }
+        }
+        h
+    }
+
+    /// Seed of the `case`-th case of a run with the given base seed
+    /// (SplitMix64 over the pair, so neighbouring cases are uncorrelated).
+    pub fn case_seed(base: u64, case: u32) -> u64 {
+        let mut z = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Location of the regression file for `test_path`, under the crate
+    /// being tested.
+    pub fn regression_file(test_path: &str) -> PathBuf {
+        let dir = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+        let name: String = test_path
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        PathBuf::from(dir)
+            .join("proptest-regressions")
+            .join(format!("{name}.txt"))
+    }
+
+    /// Previously persisted failing-case seeds for `test_path`, oldest
+    /// first. Lines follow upstream's comment convention: `cc <seed>`.
+    pub fn persisted_seeds(test_path: &str) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(regression_file(test_path)) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|l| l.trim().strip_prefix("cc "))
+            .filter_map(|s| s.trim().parse::<u64>().ok())
+            .collect()
+    }
+
+    /// Records a failing case seed so later runs replay it first.
+    /// Best-effort: IO errors are ignored (the panic still surfaces).
+    pub fn persist_failure(test_path: &str, seed: u64) {
+        if persisted_seeds(test_path).contains(&seed) {
+            return;
+        }
+        let path = regression_file(test_path);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            "# Seeds for failure cases proptest has generated in the past.\n\
+             # It is automatically read and these particular cases re-run before\n\
+             # any novel cases are generated. Each line is `cc <u64 seed>`.\n"
+                .to_string()
+        });
+        text.push_str(&format!("cc {seed}\n"));
+        let _ = std::fs::write(&path, text);
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// This vendored Strategy generates directly (no value trees, no
+    /// shrinking); `generate` must be deterministic in the RNG stream.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s whose elements come from `element`.
+    ///
+    /// When the element domain is too small to reach the drawn target size,
+    /// the set saturates at whatever distinct values a bounded number of
+    /// draws produced (matching upstream's best-effort behaviour).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 16 + 64 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The strategy for an arbitrary `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property-test functions. Each `fn name(pat in strategy, ..)`
+/// item becomes a zero-argument function that draws inputs and runs the
+/// body `config.cases` times; attach `#[test]` inside as usual. Persisted
+/// regression seeds (see crate docs) are replayed before fresh cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            // Returns Some(true) for a pass, Some(false) for a prop_assume!
+            // rejection; panics (after persisting the seed) on failure.
+            let run_case = |seed: u64, persist: bool| -> bool {
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                let ($($p,)+) = (
+                    $($crate::strategy::Strategy::generate(&$s, &mut rng),)+
+                );
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        // The immediately-called closure gives `prop_assume!`
+                        // a function boundary to `return` through.
+                        #[allow(clippy::redundant_closure_call)]
+                        let inner: ::std::result::Result<
+                            (),
+                            $crate::test_runner::Rejected,
+                        > = (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        inner
+                    }),
+                );
+                match outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => true,
+                    ::std::result::Result::Ok(::std::result::Result::Err(_)) => false,
+                    ::std::result::Result::Err(payload) => {
+                        if persist && config.failure_persistence {
+                            $crate::test_runner::persist_failure(test_path, seed);
+                        }
+                        eprintln!(
+                            "proptest {test_path}: failing case seed = {seed} \
+                             (recorded in {})",
+                            $crate::test_runner::regression_file(test_path).display()
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            };
+            if config.failure_persistence {
+                for seed in $crate::test_runner::persisted_seeds(test_path) {
+                    let _ = run_case(seed, false);
+                }
+            }
+            let base = $crate::test_runner::base_seed(test_path);
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case: u32 = 0;
+            while accepted < config.cases {
+                let seed = $crate::test_runner::case_seed(base, case);
+                case += 1;
+                if run_case(seed, true) {
+                    accepted += 1;
+                } else {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "proptest {}: too many prop_assume! rejections \
+                         ({} accepted after {} cases)",
+                        test_path, accepted, case,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)+) => { assert!($($t)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)+) => { assert_eq!($($t)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)+) => { assert_ne!($($t)+) };
+}
+
+/// Rejects the current case (it does not count towards `cases`) when the
+/// precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1_000 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.0f64..0.4).generate(&mut rng);
+            assert!((0.0..0.4).contains(&f));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u64..5, 1..8).generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            let s = crate::collection::btree_set(0u32..100, 2..=4).generate(&mut rng);
+            assert!((2..=4).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_saturates_on_small_domains() {
+        let mut rng = TestRng::from_seed(3);
+        // Domain has 2 values but 5 are requested: must terminate.
+        let s = crate::collection::btree_set(0u32..2, 5).generate(&mut rng);
+        assert!(s.len() <= 2);
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = TestRng::from_seed(4);
+        let s = (1u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!((2..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn equal_seeds_reproduce_cases() {
+        let strat = crate::collection::vec((crate::bool::ANY, 0u8..8), 1..64);
+        let a = strat.generate(&mut TestRng::from_seed(99));
+        let b = strat.generate(&mut TestRng::from_seed(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn case_seeds_differ_across_cases() {
+        let base = crate::test_runner::base_seed("some::test");
+        let s0 = crate::test_runner::case_seed(base, 0);
+        let s1 = crate::test_runner::case_seed(base, 1);
+        assert_ne!(s0, s1);
+        // And are stable.
+        assert_eq!(s0, crate::test_runner::case_seed(base, 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_and_assumes(a in 0u32..100, mut b in 0u32..100) {
+            prop_assume!(a != b);
+            b = b.max(a);
+            prop_assert!(b >= a);
+            prop_assert_ne!(a * 2 + 1, b * 2);
+            prop_assert_eq!(b, b);
+        }
+
+        #[test]
+        fn macro_tuple_and_bool(pair in (crate::bool::ANY, 0u8..8)) {
+            let (flag, n) = pair;
+            prop_assert!(n < 8);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let path = "vendored::selftest::persistence_roundtrip";
+        let file = crate::test_runner::regression_file(path);
+        let _ = std::fs::remove_file(&file);
+        assert!(crate::test_runner::persisted_seeds(path).is_empty());
+        crate::test_runner::persist_failure(path, 1234);
+        crate::test_runner::persist_failure(path, 1234); // deduplicated
+        crate::test_runner::persist_failure(path, 5678);
+        assert_eq!(crate::test_runner::persisted_seeds(path), vec![1234, 5678]);
+        let _ = std::fs::remove_file(&file);
+    }
+}
