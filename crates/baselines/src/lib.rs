@@ -5,7 +5,7 @@
 //! |----------|----------------|---------------|
 //! | [`one_phase`] | Claim 7.1 | one-phase updates violate GMP-3 when the coordinator can fail |
 //! | two-phase reconfiguration (`gmp_core::Config::with_two_phase_reconfig`) | Claim 7.2 / Fig. 11 | without a proposal phase, invisible commits are undetectable |
-//! | [`symmetric`] | Bruso [5] comparison | symmetric protocols cost an order of magnitude more messages |
+//! | [`symmetric`] | Bruso \[5\] comparison | symmetric protocols cost an order of magnitude more messages |
 //!
 //! The [`scenarios`] module builds the deterministic adversarial schedules
 //! from the proofs; the uncompressed two-phase update baseline for §7.2 is

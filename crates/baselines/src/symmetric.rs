@@ -1,4 +1,4 @@
-//! A fully *symmetric* membership protocol in the style of Bruso [5]: every
+//! A fully *symmetric* membership protocol in the style of Bruso \[5\]: every
 //! process behaves identically, agreeing on each exclusion by all-to-all
 //! rounds.
 //!

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiment ids follow `EXPERIMENTS.md`: t1, f1, f3, f4, f11, c71,
-//! e1..e7, a1.
+//! e1..e8, a1, ab1, ab2.
 
 use gmp_bench::*;
 use gmp_props::{analyze, check_safety};
@@ -236,6 +236,33 @@ fn main() {
             );
         }
         println!();
+    }
+
+    if want("e8") {
+        println!("== E8: multi-seed schedule sweep — exclusion cost percentiles ==");
+        println!("(one exclusion, 48 seeds per n; delays resampled per seed)\n");
+        println!(
+            "{:<6} {:<7} {:<8} {:<22} {:<24} events p50",
+            "n", "seeds", "3n-5", "protocol p50/p90/p99", "protocol min..max"
+        );
+        for r in e8_seed_sweep(&[8, 16, 32, 64, 128], 0..48) {
+            println!(
+                "{:<6} {:<7} {:<8} {:<22} {:<24} {}",
+                r.n,
+                r.seeds,
+                r.formula,
+                format!(
+                    "{} / {} / {}",
+                    r.protocol.p50, r.protocol.p90, r.protocol.p99
+                ),
+                format!(
+                    "{}..{} (mean {:.1})",
+                    r.protocol.min, r.protocol.max, r.protocol.mean
+                ),
+                r.events.p50,
+            );
+        }
+        println!("(percentiles flat on 3n-5: the §7.2 cost is schedule-independent)\n");
     }
 
     if want("a1") {

@@ -6,6 +6,27 @@
 //! * `src/bin/tables.rs` prints them (`cargo run -p gmp-bench --bin tables`);
 //! * `benches/protocol.rs` wraps the same workloads in Criterion wall-clock
 //!   benchmarks (`cargo bench -p gmp-bench`).
+//!
+//! Experiments come in two shapes: single-run workloads pinned to one seed
+//! (E1–E7, the tables and figures), and the E8 *seed sweep*, which drives
+//! the [`gmp_sim::run_seeds`] batch runner across a whole seed range and
+//! reports percentile statistics — schedule-space exploration in one call.
+//!
+//! # Example
+//!
+//! ```
+//! use gmp_bench::{e1_exclusion, e8_seed_sweep};
+//!
+//! // One run: excluding a crashed member costs exactly 3n − 5 messages.
+//! let row = &e1_exclusion(&[5], 42)[0];
+//! assert_eq!(row.measured, row.formula);
+//! assert_eq!(row.formula, 10);
+//!
+//! // Many runs: the same bound holds across every sampled schedule.
+//! let sweep = &e8_seed_sweep(&[5], 0..8)[0];
+//! assert_eq!(sweep.protocol.min, sweep.formula);
+//! assert_eq!(sweep.protocol.p99, sweep.formula);
+//! ```
 
 pub mod experiments;
 

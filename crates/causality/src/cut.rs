@@ -5,7 +5,7 @@
 //! from each process history, and validate closure using the vector clocks
 //! the simulator stamped on each event.
 
-use crate::VectorClock;
+use crate::Stamp;
 use gmp_types::ProcessId;
 
 /// Global index of an event in a recorded run (position in the trace).
@@ -13,12 +13,15 @@ pub type EventIndex = usize;
 
 /// An event as seen by the cut machinery: who executed it and its vector
 /// timestamp.
+///
+/// The timestamp is a [`Stamp`] — an `Arc`-shared snapshot — so building a
+/// log from a recorded trace copies no clock vectors.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LoggedEvent {
     /// The process that executed the event.
     pub pid: ProcessId,
     /// Vector timestamp assigned by the runtime.
-    pub vc: VectorClock,
+    pub vc: Stamp,
 }
 
 /// An ordered log of stamped events, grouped per process, supporting
@@ -191,6 +194,7 @@ impl Cut {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::VectorClock;
 
     /// Builds the classic two-process message scenario:
     /// p0: e0 (send) ; p1: e1 (local), e2 (recv of e0).
@@ -201,18 +205,18 @@ mod tests {
         vc_a.tick(0); // e0 = send at p0
         log.push(LoggedEvent {
             pid: ProcessId(0),
-            vc: vc_a.clone(),
+            vc: vc_a.clone().into(),
         });
         vc_b.tick(1); // e1 = local at p1
         log.push(LoggedEvent {
             pid: ProcessId(1),
-            vc: vc_b.clone(),
+            vc: vc_b.clone().into(),
         });
         vc_b.observe(&vc_a);
         vc_b.tick(1); // e2 = receive at p1
         log.push(LoggedEvent {
             pid: ProcessId(1),
-            vc: vc_b,
+            vc: vc_b.into(),
         });
         log
     }

@@ -1,7 +1,7 @@
 //! Reliable FIFO links built from scratch (§3's channel requirements).
 //!
 //! The paper's solution "will make use of two channel properties ... both of
-//! these properties are easily implemented: the former [FIFO] requires a
+//! these properties are easily implemented: the former \[FIFO\] requires a
 //! (1-bit) sequence number on each message and an acknowledgement protocol;
 //! the latter involves adding view numbers to messages".
 //!

@@ -140,7 +140,7 @@ pub fn analyze(trace: &Trace) -> RunAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gmp_causality::VectorClock;
+    use gmp_causality::Stamp;
     use gmp_sim::TraceEvent;
     use gmp_types::note::FaultySource;
 
@@ -149,7 +149,7 @@ mod tests {
             time: 0,
             pid: ProcessId(pid),
             lamport: 1,
-            vc: VectorClock::new(3),
+            vc: Stamp::zero(3),
             kind: TraceKind::Note(note),
         }
     }
@@ -194,7 +194,7 @@ mod tests {
             time: 5,
             pid: ProcessId(1),
             lamport: 1,
-            vc: VectorClock::new(3),
+            vc: Stamp::zero(3),
             kind: TraceKind::Crash,
         });
 

@@ -6,7 +6,7 @@ use crate::node::{Action, Ctx, Message, Node, TimerId};
 use crate::stats::Stats;
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::Time;
-use gmp_causality::{LamportClock, VectorClock};
+use gmp_causality::{CowClock, LamportClock, Stamp};
 use gmp_types::ProcessId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -107,7 +107,10 @@ impl Builder {
 struct Slot<N> {
     node: Option<N>,
     status: NodeStatus,
-    vc: VectorClock,
+    /// Copy-on-write working clock: stamping an event is an O(1) snapshot,
+    /// and the vector is deep-copied only on the first advance after a
+    /// snapshot (see `gmp_causality::CowClock`).
+    vc: CowClock,
     lamport: LamportClock,
 }
 
@@ -118,7 +121,7 @@ struct InFlight<M> {
     msg: M,
     msg_id: u64,
     tag: &'static str,
-    send_vc: VectorClock,
+    send_vc: Stamp,
     send_lamport: u64,
 }
 
@@ -190,7 +193,7 @@ enum Trigger<M> {
         msg: M,
         msg_id: u64,
         tag: &'static str,
-        send_vc: VectorClock,
+        send_vc: Stamp,
         send_lamport: u64,
     },
     Timer {
@@ -233,7 +236,7 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
         self.slots.push(Slot {
             node: Some(node),
             status: NodeStatus::Up,
-            vc: VectorClock::new(0),
+            vc: CowClock::new(0),
             lamport: LamportClock::new(),
         });
         pid
@@ -396,7 +399,7 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
         let n = self.slots.len();
         self.trace = Trace::new(n);
         for slot in &mut self.slots {
-            slot.vc = VectorClock::new(n);
+            slot.vc = CowClock::new(n);
         }
         // Apply fault-injection and link controls scheduled at time 0 before
         // any process takes a step, so experiments can shape the run from
@@ -542,7 +545,7 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
             time: self.time,
             pid,
             lamport,
-            vc: slot.vc.clone(),
+            vc: slot.vc.stamp(),
             kind,
         });
     }
@@ -573,7 +576,7 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
                     time: self.time,
                     pid,
                     lamport: slot.lamport.value(),
-                    vc: slot.vc.clone(),
+                    vc: slot.vc.stamp(),
                     kind: kind.clone(),
                 });
                 let mut node = self.slots[idx].node.take().expect("node present");
@@ -600,7 +603,7 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
                 time: self.time,
                 pid,
                 lamport,
-                vc: slot.vc.clone(),
+                vc: slot.vc.stamp(),
                 kind: pre_event,
             });
         }
@@ -644,7 +647,7 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
                             time: self.time,
                             pid,
                             lamport,
-                            vc: slot.vc.clone(),
+                            vc: slot.vc.stamp(),
                             kind: TraceKind::Send { to, msg_id, tag },
                         });
                     }
@@ -655,7 +658,9 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
                         msg,
                         msg_id,
                         tag,
-                        send_vc: self.slots[idx].vc.clone(),
+                        // Shares storage with the Send trace event above:
+                        // the clock has not advanced since that stamp.
+                        send_vc: self.slots[idx].vc.stamp(),
                         send_lamport: self.slots[idx].lamport.value(),
                     };
                     match self.net.fate(pid, to) {
@@ -696,7 +701,7 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
                         time: self.time,
                         pid,
                         lamport: slot.lamport.value(),
-                        vc: slot.vc.clone(),
+                        vc: slot.vc.stamp(),
                         kind: TraceKind::Note(note),
                     });
                 }

@@ -14,7 +14,12 @@
 //! quit and semantic [`Note`](gmp_types::Note) is recorded in a [`Trace`]
 //! stamped with Lamport and vector clocks, so runs can be checked against
 //! the GMP specification afterwards (`gmp-props`) and message complexity can
-//! be measured (`gmp-bench`).
+//! be measured (`gmp-bench`). Stamps are copy-on-write snapshots
+//! ([`gmp_causality::Stamp`]): recording an event is O(1) unless the clock
+//! advanced since the previous stamp, which keeps tracing cheap at large
+//! `n`. The [`batch`] module ([`run_seeds`]) replays one scenario across a
+//! whole seed range and aggregates percentile statistics ([`Summary`]) for
+//! schedule-space exploration.
 //!
 //! # Example
 //!
@@ -46,6 +51,7 @@
 //! assert_eq!(sim.stats().sends("ping"), 1);
 //! ```
 
+pub mod batch;
 pub mod net;
 pub mod node;
 pub mod stats;
@@ -53,10 +59,11 @@ pub mod trace;
 
 mod engine;
 
+pub use batch::{run_seeds, summarize_runs, BatchConfig, RunStats};
 pub use engine::{Builder, NodeStatus, Sim};
 pub use net::BlockMode;
 pub use node::{Ctx, Message, Node, TimerId};
-pub use stats::Stats;
+pub use stats::{Stats, Summary};
 pub use trace::{Trace, TraceEvent, TraceKind};
 
 /// Simulated time, in abstract ticks. Processes never read this directly —

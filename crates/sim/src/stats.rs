@@ -1,4 +1,5 @@
-//! Message accounting for complexity experiments (§7.2).
+//! Message accounting for complexity experiments (§7.2), and order
+//! statistics for aggregating one metric across a batch of seeded runs.
 
 use std::collections::BTreeMap;
 
@@ -62,6 +63,64 @@ impl Stats {
     }
 }
 
+/// Order statistics of one metric over a batch of runs (see
+/// [`run_seeds`](crate::run_seeds)).
+///
+/// Percentiles use the nearest-rank definition: `p`-th percentile = the
+/// smallest value such that at least `p`% of samples are ≤ it. An empty
+/// sample yields all-zero statistics with `count == 0`.
+///
+/// ```
+/// use gmp_sim::Summary;
+///
+/// let s = Summary::of(&[4, 1, 3, 2, 5]);
+/// assert_eq!((s.count, s.min, s.max), (5, 1, 5));
+/// assert_eq!(s.p50, 3);
+/// assert_eq!(s.mean, 3.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile, nearest rank).
+    pub p50: u64,
+    /// 90th percentile (nearest rank).
+    pub p90: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
+}
+
+impl Summary {
+    /// Summarizes a sample (order irrelevant).
+    pub fn of(values: &[u64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            // Nearest rank: ceil(p/100 * count), 1-based.
+            let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            p50: pct(50.0),
+            p90: pct(90.0),
+            p99: pct(99.0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +140,36 @@ mod tests {
         assert_eq!(s.sends_matching(|t| t == "a"), 2);
         let pairs: Vec<_> = s.send_counts().collect();
         assert_eq!(pairs, vec![("a", 2), ("b", 1)]);
+    }
+
+    #[test]
+    fn summary_order_statistics() {
+        let s = Summary::of(&[10, 30, 20, 50, 40]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 50);
+        assert_eq!(s.mean, 30.0);
+        assert_eq!(s.p50, 30);
+        assert_eq!(s.p90, 50);
+        assert_eq!(s.p99, 50);
+    }
+
+    #[test]
+    fn summary_large_sample_percentiles() {
+        // 1..=100: nearest-rank percentiles are exact.
+        let values: Vec<u64> = (1..=100).collect();
+        let s = Summary::of(&values);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.mean, 50.5);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+        let one = Summary::of(&[7]);
+        assert_eq!((one.min, one.p50, one.p99, one.max), (7, 7, 7, 7));
+        assert_eq!(one.count, 1);
     }
 }

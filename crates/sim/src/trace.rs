@@ -1,7 +1,7 @@
 //! Recorded runs: every event of every process history, causally stamped.
 
 use crate::Time;
-use gmp_causality::{EventLog, LoggedEvent, VectorClock};
+use gmp_causality::{EventLog, LoggedEvent, Stamp};
 use gmp_types::{Note, ProcessId};
 
 /// What happened at one event of a process history.
@@ -50,8 +50,10 @@ pub struct TraceEvent {
     pub pid: ProcessId,
     /// Lamport timestamp.
     pub lamport: u64,
-    /// Vector timestamp (dimension = number of processes in the run).
-    pub vc: VectorClock,
+    /// Vector timestamp (dimension = number of processes in the run). A
+    /// [`Stamp`] is an `Arc`-shared snapshot, so events whose clocks did not
+    /// advance between stamps share one allocation.
+    pub vc: Stamp,
     /// The event itself.
     pub kind: TraceKind,
 }
@@ -90,7 +92,8 @@ impl Trace {
 
     /// Converts the run into an [`EventLog`] for happens-before and
     /// consistent-cut queries. Event indices in the log coincide with
-    /// indices into [`Trace::events`].
+    /// indices into [`Trace::events`]. Stamps are `Arc`-shared, so this
+    /// copies no clock vectors.
     pub fn to_event_log(&self) -> EventLog {
         let mut log = EventLog::new(self.n);
         for ev in &self.events {
@@ -139,7 +142,7 @@ mod tests {
             time: 0,
             pid: ProcessId(pid),
             lamport: 1,
-            vc: VectorClock::new(2),
+            vc: Stamp::zero(2),
             kind,
         }
     }

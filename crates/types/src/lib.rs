@@ -18,6 +18,8 @@
 //! assert_eq!(view.majority(), 2);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod note;
 pub mod view;
 

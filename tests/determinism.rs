@@ -6,9 +6,11 @@
 //! granularity the trace records: the exact event sequence with event
 //! kinds, simulated times, and Lamport/vector stamps.
 
+use gmp::causality::VectorClock;
 use gmp::protocol::cluster;
-use gmp::sim::{Sim, TraceEvent};
+use gmp::sim::{Sim, TraceEvent, TraceKind};
 use gmp::types::ProcessId;
+use std::collections::HashMap;
 
 /// Serializes every recorded event, including its causal stamps, so two
 /// fingerprints are equal iff the traces are byte-identical.
@@ -62,6 +64,81 @@ fn different_seeds_diverge() {
     let a = run(6, 1);
     let b = run(6, 2);
     assert_ne!(a, b, "distinct seeds produced identical traces");
+}
+
+/// FNV-1a over the serialized fingerprint, for compact golden pinning.
+fn fnv1a(lines: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for &b in line.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= b'\n' as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pins the stamped traces to the values recorded *before* the stamping
+/// representation switched from eager per-event `VectorClock` clones to
+/// copy-on-write `Stamp` sharing. The hashes below were computed on the
+/// eager-clone engine; byte-identical fingerprints (times, event kinds,
+/// Lamport and vector stamps) prove the copy-on-write path changes the
+/// representation only, never a recorded value.
+#[test]
+fn traces_are_byte_identical_to_the_eager_clone_path() {
+    // (n, seed, events, FNV-1a of the fingerprint) — from the pre-refactor
+    // engine at commit c63f23c.
+    let golden: [(usize, u64, usize, u64); 3] = [
+        (6, 42, 14705, 0x0471_a573_3980_0b3b),
+        (5, 7, 8051, 0x9748_e5bd_18ec_46b5),
+        (9, 0xDEAD_BEEF, 46655, 0xa963_e039_3d90_fea0),
+    ];
+    for (n, seed, events, hash) in golden {
+        let fp = run(n, seed);
+        assert_eq!(fp.len(), events, "n={n} seed={seed}: event count drifted");
+        assert_eq!(fnv1a(&fp), hash, "n={n} seed={seed}: stamped trace drifted");
+    }
+}
+
+/// Recomputes every vector stamp of a run with plain, eagerly-cloned
+/// `VectorClock`s — replaying tick/observe exactly as the engine specifies
+/// them per event kind — and checks the copy-on-write stamps match
+/// event-for-event. Unlike the golden hashes above, this validates any
+/// seed, including the message-reception merge path.
+#[test]
+fn cow_stamps_equal_eager_recomputation() {
+    let mut sim = cluster(6, 1234);
+    sim.crash_at(ProcessId(5), 400);
+    sim.run_until(10_000);
+    let trace = sim.trace();
+    let n = trace.n;
+    let mut clocks: Vec<VectorClock> = (0..n).map(|_| VectorClock::new(n)).collect();
+    let mut send_stamps: HashMap<u64, VectorClock> = HashMap::new();
+    for (i, ev) in trace.events.iter().enumerate() {
+        let p = ev.pid.index();
+        match &ev.kind {
+            TraceKind::Recv { msg_id, .. } => {
+                let send_vc = send_stamps.get(msg_id).expect("recv has a send");
+                clocks[p].observe(send_vc);
+                clocks[p].tick(p);
+            }
+            TraceKind::Note(_) => {} // notes stamp without advancing
+            _ => clocks[p].tick(p),
+        }
+        assert_eq!(
+            ev.vc.clock(),
+            &clocks[p],
+            "event {i} ({:?} at {}): cow stamp diverges from eager replay",
+            ev.kind,
+            ev.pid
+        );
+        if let TraceKind::Send { msg_id, .. } = ev.kind {
+            send_stamps.insert(msg_id, clocks[p].clone());
+        }
+    }
+    assert!(!send_stamps.is_empty(), "run exercised the send/recv path");
 }
 
 #[test]
