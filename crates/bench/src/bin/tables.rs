@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiment ids follow `EXPERIMENTS.md`: t1, f1, f3, f4, f11, c71,
-//! e1..e8, a1, ab1, ab2.
+//! e1..e9, a1, ab1, ab2.
 
 use gmp_bench::*;
 use gmp_props::{analyze, check_safety};
@@ -263,6 +263,31 @@ fn main() {
             );
         }
         println!("(percentiles flat on 3n-5: the §7.2 cost is schedule-independent)\n");
+    }
+
+    if want("e9") {
+        println!("== E9: heartbeat fan-out — shared digests vs per-peer clones ==");
+        println!(
+            "(one exclusion; messages stay Θ(n²)/interval, payload builds drop to Θ(n)/run)\n"
+        );
+        println!(
+            "{:<6} {:<10} {:<12} {:<16} {:<16} legacy clones (Θ(n²)/interval)",
+            "n", "intervals", "heartbeats", "msgs/interval", "payload builds"
+        );
+        for r in e9_heartbeat_fanout(&[8, 16, 32, 64, 128], seed) {
+            println!(
+                "{:<6} {:<10} {:<12} {:<16.1} {:<16} {}",
+                r.n,
+                r.intervals,
+                r.heartbeats,
+                r.msgs_per_interval,
+                r.payload_builds,
+                r.legacy_builds
+            );
+        }
+        println!(
+            "(payload builds ≈ one per member per faulty-set change, independent of intervals)\n"
+        );
     }
 
     if want("a1") {

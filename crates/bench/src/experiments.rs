@@ -680,6 +680,78 @@ pub fn e8_seed_sweep(ns: &[usize], seeds: Range<u64>) -> Vec<SweepRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// E9 — heartbeat fan-out cost: messages vs. payload constructions per
+// interval (the shared-digest aggregation of the F2 gossip source)
+// ---------------------------------------------------------------------
+
+/// One row of the E9 heartbeat fan-out table.
+#[derive(Clone, Debug)]
+pub struct FanoutRow {
+    /// Group size.
+    pub n: usize,
+    /// Heartbeat intervals the run spans.
+    pub intervals: u64,
+    /// Heartbeat messages sent in total (protocol-visible; unchanged by the
+    /// digest encoding).
+    pub heartbeats: u64,
+    /// Heartbeat messages per interval — Θ(n²) by design: every Active
+    /// member beats every unsuspected peer.
+    pub msgs_per_interval: f64,
+    /// Faulty-set payloads materialized across the run (one per member per
+    /// *change* of its faulty set).
+    pub payload_builds: u64,
+    /// What the per-peer-clone encoding would have materialized: one `Vec`
+    /// per heartbeat message plus one per member per tick.
+    pub legacy_builds: u64,
+}
+
+/// Measures the heartbeat hot path at each group size: one exclusion makes
+/// every member's faulty set change (so the digest path must re-publish),
+/// and the run then settles back into empty-beat steady state.
+///
+/// The digest refactor leaves the *message* count untouched — the paper
+/// costs protocols in messages (§7.2), and heartbeats stay all-to-all at
+/// Θ(n²) per interval — but payload constructions collapse from one per
+/// message (`legacy_builds`, Θ(n²) per interval) to one per faulty-set
+/// change (`payload_builds`, ≤ a small multiple of n for the whole run).
+///
+/// ```
+/// use gmp_bench::e9_heartbeat_fanout;
+///
+/// let rows = e9_heartbeat_fanout(&[8], 0);
+/// let r = &rows[0];
+/// assert!(r.payload_builds <= 2 * 8, "at most a couple builds per member");
+/// assert!(r.legacy_builds as f64 > 0.5 * r.msgs_per_interval * r.intervals as f64);
+/// ```
+pub fn e9_heartbeat_fanout(ns: &[usize], seed: u64) -> Vec<FanoutRow> {
+    ns.iter()
+        .map(|&n| {
+            let horizon = 4_000;
+            let cfg = Config::default().timing(100, 400);
+            let intervals = horizon / cfg.heartbeat_every;
+            let mut sim = cluster_with(n, seed + n as u64, cfg);
+            sim.crash_at(ProcessId(n as u32 - 1), 300);
+            sim.run_until(horizon);
+            let heartbeats = sim.stats().sends("heartbeat");
+            let payload_builds: u64 = (0..n as u32)
+                .map(|p| sim.node(ProcessId(p)).heartbeat_payload_builds())
+                .sum();
+            // The retired encoding cloned the faulty `Vec` into every
+            // heartbeat and materialized it once per member per tick.
+            let legacy_builds = heartbeats + intervals * n as u64;
+            FanoutRow {
+                n,
+                intervals,
+                heartbeats,
+                msgs_per_interval: heartbeats as f64 / intervals as f64,
+                payload_builds,
+                legacy_builds,
+            }
+        })
+        .collect()
+}
+
 /// Convenience: a standard exclusion run for the Criterion benchmarks.
 pub fn bench_exclusion_run(n: usize, seed: u64) -> Sim<Msg, Member> {
     let mut sim = cluster_with(n, seed, Config::default());
@@ -822,6 +894,37 @@ mod tests {
             );
             // Event counts (heartbeats included) do vary with the schedule.
             assert!(row.events.min > 0 && row.events.min <= row.events.p50);
+        }
+    }
+
+    #[test]
+    fn e9_payload_constructions_collapse_from_quadratic_to_linear() {
+        for row in e9_heartbeat_fanout(&[8, 16, 32], 900) {
+            let n = row.n as u64;
+            // Messages stay all-to-all: the digest encoding must not change
+            // the protocol-visible fan-out (≥ (n-1)(n-2) once the victim is
+            // excluded, more before).
+            assert!(
+                row.msgs_per_interval >= ((n - 1) * (n - 2)) as f64,
+                "n={n}: heartbeat messages per interval collapsed unexpectedly: {}",
+                row.msgs_per_interval
+            );
+            // The retired per-peer-clone encoding built Θ(n²) payloads per
+            // interval for the whole run…
+            assert!(
+                row.legacy_builds >= row.intervals * (n - 1) * (n - 2),
+                "n={n}: legacy formula lost its quadratic shape"
+            );
+            // …the digest encoding builds at most a couple per *member*
+            // total (empty → {victim} → empty is one change that needs a
+            // snapshot), i.e. Θ(n) for the run, regardless of interval
+            // count.
+            assert!(
+                row.payload_builds <= 2 * n,
+                "n={n}: {} payload builds exceed the Θ(n) bound",
+                row.payload_builds
+            );
+            assert!(row.payload_builds > 0, "the exclusion must publish once");
         }
     }
 

@@ -16,12 +16,12 @@
 
 use crate::config::Config;
 use crate::decide::{determine, PhaseOneResp};
-use crate::msg::Msg;
+use crate::msg::{HeartbeatDigest, Msg};
 use gmp_detect::{HeartbeatDetector, Isolation};
-use gmp_sim::{Ctx, Node};
+use gmp_sim::{Ctx, Node, Shared};
 use gmp_types::note::{FaultySource, QuitReason};
 use gmp_types::{NextEntry, Note, Op, OpKind, ProcessId, Ver, View};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Timer tag: heartbeat + failure-detector tick.
 const TICK: u64 = 1;
@@ -114,10 +114,30 @@ pub struct Member {
     injected: Vec<ProcessId>,
     /// Last time each suspect was reported to `Mgr` (for re-reports).
     last_report: std::collections::BTreeMap<ProcessId, u64>,
+    /// Sender-side state of the delta-encoded heartbeat digests (F2).
+    hb: HbGossip,
     /// Observers subscribed to this member's view stream (§8).
     subscribers: BTreeSet<ProcessId>,
     /// Observer-side state, when this process is an observer.
     obs: Option<ObsState>,
+}
+
+/// Sender-side heartbeat-gossip state: the faulty set travels as one
+/// `Arc`-shared snapshot per *change*, not one `Vec` per target per tick.
+#[derive(Clone, Debug, Default)]
+struct HbGossip {
+    /// Bumped whenever the faulty set differs from the previous tick's.
+    epoch: u64,
+    /// The faulty set as of `epoch` (ascending id order, like `faulty_vec`).
+    last: Vec<ProcessId>,
+    /// Shared snapshot for `epoch`; `None` while the set is empty (an empty
+    /// snapshot and an empty beat are indistinguishable to the receiver).
+    snapshot: Option<Shared<[ProcessId]>>,
+    /// Last epoch whose snapshot each peer was sent. Pruned on view install
+    /// so it stays bounded by the view size.
+    sent: BTreeMap<ProcessId, u64>,
+    /// Snapshot materializations, for the E9 fan-out experiment.
+    builds: u64,
 }
 
 /// Observer-side bookkeeping (§8 hierarchical service).
@@ -175,6 +195,7 @@ impl Member {
             buffered: Vec::new(),
             injected: Vec::new(),
             last_report: std::collections::BTreeMap::new(),
+            hb: HbGossip::default(),
             subscribers: BTreeSet::new(),
             obs: None,
         }
@@ -206,6 +227,7 @@ impl Member {
             buffered: Vec::new(),
             injected: Vec::new(),
             last_report: std::collections::BTreeMap::new(),
+            hb: HbGossip::default(),
             subscribers: BTreeSet::new(),
             obs: None,
         }
@@ -258,6 +280,7 @@ impl Member {
             buffered: Vec::new(),
             injected: Vec::new(),
             last_report: std::collections::BTreeMap::new(),
+            hb: HbGossip::default(),
             subscribers: BTreeSet::new(),
             obs: None,
         }
@@ -313,6 +336,22 @@ impl Member {
         self.injected.push(q);
     }
 
+    /// Suspects currently held in the GMP-5 re-report throttle map. Pruned
+    /// on every view install, so entries only ever name in-view suspects —
+    /// the map stays bounded by the view size across arbitrarily long
+    /// reconfiguration-heavy runs.
+    pub fn reported_suspects(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.last_report.keys().copied()
+    }
+
+    /// How many heartbeat-gossip payloads this member has materialized: one
+    /// per *change* of its faulty set, never one per tick or per target.
+    /// The E9 fan-out experiment sums this across members to show payload
+    /// constructions per interval dropped from Θ(n²) to Θ(n).
+    pub fn heartbeat_payload_builds(&self) -> u64 {
+        self.hb.builds
+    }
+
     /// True when this process is a group observer (§8).
     pub fn is_observer(&self) -> bool {
         self.obs.is_some()
@@ -334,6 +373,10 @@ impl Member {
 
     fn do_quit(&mut self, ctx: &mut Ctx<'_, Msg>, reason: QuitReason) {
         self.lifecycle = Lifecycle::Stopped;
+        // A stopped member neither reports nor heartbeats ever again; free
+        // the per-peer maps rather than letting them outlive the membership.
+        self.last_report.clear();
+        self.hb = HbGossip::default();
         ctx.note(Note::Quit { reason });
         ctx.quit();
     }
@@ -416,7 +459,6 @@ impl Member {
                 self.view.remove(op.target);
                 self.faulty.remove(&op.target);
                 self.fd.forget(op.target);
-                self.last_report.remove(&op.target);
             }
             OpKind::Add => {
                 if op.target == self.me || !self.view.push_junior(op.target) {
@@ -430,6 +472,14 @@ impl Member {
         }
         self.seq.push(op);
         self.ver += 1;
+        // Installing a view bounds the per-suspect bookkeeping: the GMP-5
+        // re-report throttle only ever needs entries for in-view suspects,
+        // so drop everything the new view excludes (not just `op.target` —
+        // a reconfiguration proposal can remove several members at once).
+        // The heartbeat-digest delivery map is bounded the same way: a peer
+        // outside the view is never a heartbeat target again.
+        self.last_report.retain(|q, _| self.view.contains(*q));
+        self.hb.sent.retain(|p, _| self.view.contains(*p));
         ctx.note(Note::OpApplied { op, ver: self.ver });
         ctx.note(Note::ViewInstalled {
             ver: self.ver,
@@ -1349,19 +1399,11 @@ impl Member {
             return;
         }
         let now = ctx.now();
-        let hb_faulty = if self.cfg.gossip {
-            self.faulty_vec()
-        } else {
-            Vec::new()
-        };
-        let targets: Vec<ProcessId> = self
-            .view
-            .iter()
-            .filter(|&p| p != self.me && !self.faulty.contains(&p))
-            .collect();
-        ctx.broadcast(targets, Msg::Heartbeat { faulty: hb_faulty });
 
-        // Apply injected (spurious) suspicions first, then timeouts.
+        // Apply injected (spurious) suspicions and detector timeouts
+        // *before* choosing heartbeat targets: S1 starts at the suspicion,
+        // so a peer declared faulty at this very tick must not receive one
+        // more heartbeat from us.
         let injected = std::mem::take(&mut self.injected);
         for q in injected {
             self.handle_faulty(ctx, q, FaultySource::Injected);
@@ -1374,6 +1416,44 @@ impl Member {
             if self.lifecycle == Lifecycle::Stopped {
                 return;
             }
+        }
+
+        // Heartbeat fan-out. The faulty set is materialized at most once per
+        // tick (and only when it changed), wrapped in an `Arc`-shared
+        // snapshot, and fanned out by reference: per-recipient payload cost
+        // is an O(1) clone of the digest, not a fresh `Vec`. The full set
+        // travels only on the first beat to a peer after a change — every
+        // later beat on that (reliable FIFO) link is a pure life sign, so
+        // the gossip states receivers reach are exactly those of flooding.
+        // NB: `sent` marks the epoch at *send* time, which is only sound on
+        // the model's reliable channels (§2.1). A lossy `BlockMode::Drop`
+        // link would eat the one carrying beat and the delta encoding would
+        // never retransmit it — drop-mode links are reserved for the
+        // baseline counterexample protocols, never for `Member` runs.
+        if self.cfg.gossip && !self.faulty.iter().copied().eq(self.hb.last.iter().copied()) {
+            self.hb.epoch += 1;
+            self.hb.last = self.faulty_vec(); // once per tick, not per target
+            self.hb.snapshot = if self.hb.last.is_empty() {
+                None
+            } else {
+                self.hb.builds += 1;
+                Some(Shared::from(self.hb.last.clone()))
+            };
+        }
+        let targets: Vec<ProcessId> = self
+            .view
+            .iter()
+            .filter(|&p| p != self.me && !self.faulty.contains(&p))
+            .collect();
+        for p in targets {
+            let digest = match &self.hb.snapshot {
+                Some(set) if self.hb.sent.get(&p) != Some(&self.hb.epoch) => {
+                    self.hb.sent.insert(p, self.hb.epoch);
+                    HeartbeatDigest::snapshot(set.clone())
+                }
+                _ => HeartbeatDigest::empty(),
+            };
+            ctx.send(p, Msg::Heartbeat { digest });
         }
 
         // Periodic re-reports keep GMP-5 live across coordinator changes
@@ -1403,9 +1483,9 @@ impl Member {
     /// Central message dispatch (shared by live delivery and buffer replay).
     fn dispatch(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcessId, msg: Msg) {
         match msg {
-            Msg::Heartbeat { faulty } => {
+            Msg::Heartbeat { digest } => {
                 if self.cfg.gossip {
-                    for q in faulty {
+                    for q in digest.faulty() {
                         if q != self.me {
                             self.handle_faulty(ctx, q, FaultySource::Gossip);
                             if self.lifecycle == Lifecycle::Stopped {

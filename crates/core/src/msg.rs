@@ -1,7 +1,49 @@
 //! Protocol messages of the full algorithm (§3, §4.5, §7.1).
 
-use gmp_sim::Message;
+use gmp_sim::{Message, Shared};
 use gmp_types::{NextEntry, Op, ProcessId, Ver};
+
+/// The gossip payload (F2) piggybacked on a heartbeat, delta-encoded.
+///
+/// The paper treats the faulty set as a single gossip source; re-flooding
+/// it on every beat to every peer is pure overhead (§2.2 costs protocols in
+/// *messages*, and the message count is unchanged either way). A digest
+/// therefore carries the sender's full faulty set only on the first beat to
+/// a peer after the set changed — as an [`Shared`]-backed snapshot built
+/// once per change, not once per target — and is an empty pure life sign
+/// otherwise. Links are reliable FIFO (§2.1), so every peer observes the
+/// carrying beat before any later empty one and the gossip states reached
+/// are exactly those of full-set flooding.
+#[derive(Clone, Debug)]
+pub struct HeartbeatDigest {
+    /// `Some(set)`: the sender's complete faulty set as of this beat.
+    /// `None`: unchanged since the last set this peer was sent (or empty).
+    faulty: Option<Shared<[ProcessId]>>,
+}
+
+impl HeartbeatDigest {
+    /// A pure life sign: the receiver's view of the sender's faulty set is
+    /// already current (or the set is empty).
+    pub fn empty() -> Self {
+        HeartbeatDigest { faulty: None }
+    }
+
+    /// A beat carrying the sender's full faulty set. The snapshot is shared:
+    /// cloning this digest per broadcast recipient copies nothing.
+    pub fn snapshot(set: Shared<[ProcessId]>) -> Self {
+        HeartbeatDigest { faulty: Some(set) }
+    }
+
+    /// True when this beat carries a faulty-set snapshot.
+    pub fn carries_set(&self) -> bool {
+        self.faulty.is_some()
+    }
+
+    /// The carried faulty set; empty for a pure life sign.
+    pub fn faulty(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.faulty.iter().flat_map(|s| s.iter().copied())
+    }
+}
 
 /// Messages exchanged by [`Member`](crate::Member) processes.
 ///
@@ -9,11 +51,11 @@ use gmp_types::{NextEntry, Op, ProcessId, Ver};
 /// version an invite proposes to install, the version a commit installs).
 #[derive(Clone, Debug)]
 pub enum Msg {
-    /// Periodic life sign; carries the sender's faulty set when gossip (F2)
+    /// Periodic life sign; carries delta-encoded faulty-set gossip when F2
     /// is enabled.
     Heartbeat {
-        /// Processes the sender believes faulty (piggybacked gossip).
-        faulty: Vec<ProcessId>,
+        /// The piggybacked gossip digest.
+        digest: HeartbeatDigest,
     },
     /// An outer process asks `Mgr` to start the exclusion algorithm for
     /// `suspect` (§3.1: "it sends a message to Mgr, requesting that it
@@ -173,11 +215,37 @@ mod tests {
     #[test]
     fn tags_are_stable_and_counted_correctly() {
         assert_eq!(Msg::Interrogate.tag(), "interrogate");
-        assert_eq!(Msg::Heartbeat { faulty: vec![] }.tag(), "heartbeat");
+        assert_eq!(
+            Msg::Heartbeat {
+                digest: HeartbeatDigest::empty()
+            }
+            .tag(),
+            "heartbeat"
+        );
         assert!(is_protocol_tag("invite"));
         assert!(is_protocol_tag("reconf-commit"));
         assert!(!is_protocol_tag("heartbeat"));
         assert!(!is_protocol_tag("welcome"));
         assert!(!is_protocol_tag("faulty-report"));
+    }
+
+    #[test]
+    fn digest_clones_share_the_snapshot() {
+        let set: Shared<[ProcessId]> = vec![ProcessId(3), ProcessId(7)].into();
+        let d = HeartbeatDigest::snapshot(set.clone());
+        let fanned = d.clone(); // what broadcast does per recipient
+        assert!(d.carries_set() && fanned.carries_set());
+        assert_eq!(
+            fanned.faulty().collect::<Vec<_>>(),
+            vec![ProcessId(3), ProcessId(7)]
+        );
+        assert!(
+            Shared::ptr_eq(&set, d.faulty.as_ref().unwrap()),
+            "digest wraps, never copies, the snapshot"
+        );
+
+        let beat = HeartbeatDigest::empty();
+        assert!(!beat.carries_set());
+        assert_eq!(beat.faulty().count(), 0);
     }
 }

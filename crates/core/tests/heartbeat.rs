@@ -1,0 +1,104 @@
+//! Heartbeat-tick regression tests: suspicion ordering within a tick and
+//! the boundedness of the per-suspect bookkeeping maps.
+
+use gmp_core::cluster;
+use gmp_sim::TraceKind;
+use gmp_types::note::FaultySource;
+use gmp_types::{Note, ProcessId};
+
+/// Regression for the tick-ordering bug: `on_tick` used to broadcast
+/// heartbeats *before* draining injected suspicions and running the
+/// detector, so a peer the sender declared faulty at that very tick still
+/// received one more heartbeat from it — violating the spirit of S1, which
+/// severs communication *at* the suspicion. Suspicions now apply first, so
+/// no heartbeat is ever sent to a process suspected at the same instant.
+#[test]
+fn no_heartbeat_to_a_peer_suspected_at_the_same_instant() {
+    let observer = ProcessId(2);
+    let victim = ProcessId(3);
+    let mut sim = cluster(5, 23);
+    sim.run_until(210);
+    sim.node_mut(observer).inject_suspicion(victim);
+    sim.run_until(2_000);
+
+    // The injected suspicion lands at observer's next tick.
+    let suspected_at = sim
+        .trace()
+        .notes()
+        .find(|(e, n)| {
+            e.pid == observer
+                && matches!(
+                    n,
+                    Note::Faulty {
+                        suspect,
+                        source: FaultySource::Injected,
+                    } if *suspect == victim
+                )
+        })
+        .map(|(e, _)| e.time)
+        .expect("the injected suspicion must fire");
+
+    // From that instant on — *including* the suspicion's own tick — the
+    // observer sends the victim nothing, heartbeats included.
+    let late_sends: Vec<u64> = sim
+        .trace()
+        .events
+        .iter()
+        .filter(|e| e.pid == observer && e.time >= suspected_at)
+        .filter_map(|e| match &e.kind {
+            TraceKind::Send { to, .. } if *to == victim => Some(e.time),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        late_sends.is_empty(),
+        "observer kept messaging the peer it suspected at t={suspected_at}: {late_sends:?}"
+    );
+
+    // Sanity: before the suspicion the observer *did* heartbeat the victim.
+    assert!(
+        sim.trace().events.iter().any(|e| {
+            e.pid == observer
+                && e.time < suspected_at
+                && matches!(e.kind, TraceKind::Send { to, tag: "heartbeat", .. } if to == victim)
+        }),
+        "scenario must exercise the heartbeat path before the suspicion"
+    );
+}
+
+/// Regression for the unbounded GMP-5 re-report throttle: `last_report`
+/// entries used to survive the suspect's exclusion (only the direct-commit
+/// path pruned them), so reconfiguration-heavy runs grew the map without
+/// bound. It is now pruned on every view install: across a run that
+/// installs several views, the map only ever holds in-view suspects.
+#[test]
+fn report_throttle_only_holds_in_view_suspects() {
+    let mut sim = cluster(6, 31);
+    sim.crash_at(ProcessId(5), 400);
+    sim.crash_at(ProcessId(4), 1_600);
+    sim.crash_at(ProcessId(3), 2_800);
+    // Inspect around each exclusion, not just at quiescence, so the claim
+    // covers the transient states too.
+    for t in [1_000, 2_200, 3_400, 15_000] {
+        sim.run_until(t);
+        for p in sim.living() {
+            let m = sim.node(p);
+            for q in m.reported_suspects() {
+                assert!(
+                    m.view().contains(q),
+                    "at t={t}, {p} still throttle-tracks {q}, which left its view"
+                );
+            }
+        }
+    }
+    // All three victims were installed out of the view, so at quiescence
+    // the throttle map must have drained completely.
+    for p in sim.living() {
+        assert_eq!(
+            sim.node(p).reported_suspects().count(),
+            0,
+            "{p} kept throttle entries after every suspect was excluded"
+        );
+    }
+    assert_eq!(sim.node(ProcessId(0)).ver(), 3, "three exclusions commit");
+}

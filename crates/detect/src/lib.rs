@@ -21,7 +21,8 @@
 //! faulty sets on protocol messages.
 
 use gmp_types::ProcessId;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Timeout-based failure observer (source F1).
 ///
@@ -30,11 +31,35 @@ use std::collections::{BTreeMap, BTreeSet};
 /// [`tick`](HeartbeatDetector::tick) from a periodic timer. Any received
 /// message counts as a life sign, not just heartbeats — which matches the
 /// paper's reading of "time" as a mere tool for suspecting crashes.
+///
+/// Internally, expiry is driven by a min-heap of lease deadlines (one entry
+/// pushed per life sign, deadline = life sign + `suspect_after`) with lazy
+/// deletion: superseded, suspected and forgotten entries are discarded when
+/// popped. A quiescent [`tick`](HeartbeatDetector::tick) therefore costs one
+/// heap peek — O(expired · log n) instead of a full O(n) scan of every
+/// tracked peer — while suspecting in exactly the same order (ascending id)
+/// and at exactly the same instants as the scan did.
+///
+/// # Invariant: process instances never return
+///
+/// The §2.1 model reuses no process identity: a crashed or excluded process
+/// that "comes back" is a *new* instance with a fresh id. The detector
+/// leans on that — [`forget`](HeartbeatDetector::forget) permanently
+/// retires an id, and a later [`track`](HeartbeatDetector::track) of the
+/// same id is a model violation that debug builds reject with a
+/// `debug_assert` rather than silently restarting monitoring.
 #[derive(Clone, Debug)]
 pub struct HeartbeatDetector {
     suspect_after: u64,
     last_heard: BTreeMap<ProcessId, u64>,
     suspects: BTreeSet<ProcessId>,
+    /// Min-heap of `(lease deadline, peer)`. Never pruned eagerly; an entry
+    /// is live iff it matches the peer's current `last_heard` lease.
+    deadlines: BinaryHeap<Reverse<(u64, ProcessId)>>,
+    /// Ids retired by `forget`, kept (in debug builds only) to assert that
+    /// no retired instance is ever tracked again.
+    #[cfg(debug_assertions)]
+    forgotten: BTreeSet<ProcessId>,
 }
 
 impl HeartbeatDetector {
@@ -50,6 +75,9 @@ impl HeartbeatDetector {
             suspect_after,
             last_heard: BTreeMap::new(),
             suspects: BTreeSet::new(),
+            deadlines: BinaryHeap::new(),
+            #[cfg(debug_assertions)]
+            forgotten: BTreeSet::new(),
         }
     }
 
@@ -58,21 +86,41 @@ impl HeartbeatDetector {
         self.suspect_after
     }
 
+    /// The lease deadline for a life sign observed at `t`.
+    fn deadline(&self, t: u64) -> u64 {
+        t.saturating_add(self.suspect_after)
+    }
+
     /// Starts monitoring `p`, treating `now` as the last life sign (a grace
     /// period equal to the full timeout).
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `p` was previously
+    /// [`forget`](HeartbeatDetector::forget)ten: process instances never
+    /// return in the model, so re-tracking a retired id is a caller bug.
     pub fn track(&mut self, p: ProcessId, now: u64) {
-        if !self.suspects.contains(&p) {
-            self.last_heard.entry(p).or_insert(now);
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !self.forgotten.contains(&p),
+            "re-tracking forgotten process {p}: instances never return"
+        );
+        if !self.suspects.contains(&p) && !self.last_heard.contains_key(&p) {
+            self.last_heard.insert(p, now);
+            self.deadlines.push(Reverse((self.deadline(now), p)));
         }
     }
 
     /// Stops monitoring `p` (e.g. it was removed from the view). Its
-    /// suspicion status is forgotten as well: if the same id were tracked
-    /// again it would start fresh — which cannot happen in the model, where
-    /// process instances never return.
+    /// suspicion status is dropped as well. The id is *retired*: process
+    /// instances never return in the model, so tracking it again is
+    /// rejected (in debug builds) rather than silently restarting
+    /// monitoring with a fresh lease.
     pub fn forget(&mut self, p: ProcessId) {
         self.last_heard.remove(&p);
         self.suspects.remove(&p);
+        #[cfg(debug_assertions)]
+        self.forgotten.insert(p);
     }
 
     /// Records a life sign from `p`. Ignored once `p` is suspected (by S1
@@ -87,7 +135,15 @@ impl HeartbeatDetector {
             return;
         }
         if let Some(t) = self.last_heard.get_mut(&p) {
-            *t = (*t).max(now);
+            if now > *t {
+                // The lease advanced: the old heap entry goes stale and a
+                // fresh one carries the new deadline. (Stale information —
+                // `now <= *t` — must not shorten the lease, and pushes
+                // nothing.)
+                *t = now;
+                let d = now.saturating_add(self.suspect_after);
+                self.deadlines.push(Reverse((d, p)));
+            }
         }
     }
 
@@ -104,18 +160,30 @@ impl HeartbeatDetector {
     }
 
     /// Evaluates timeouts at time `now`, returning the peers newly suspected
-    /// by observation (F1). They are also recorded as suspects.
+    /// by observation (F1), in ascending id order. They are also recorded as
+    /// suspects.
+    ///
+    /// Cost: O(expired · log n) heap pops (plus one peek when nothing
+    /// expired) — not a scan of every tracked peer. Stale heap entries
+    /// (lease renewed, peer suspected by gossip, or forgotten) are lazily
+    /// discarded as they surface.
     pub fn tick(&mut self, now: u64) -> Vec<ProcessId> {
-        let expired: Vec<ProcessId> = self
-            .last_heard
-            .iter()
-            .filter(|(_, &t)| now.saturating_sub(t) >= self.suspect_after)
-            .map(|(&p, _)| p)
-            .collect();
-        for &p in &expired {
-            self.last_heard.remove(&p);
-            self.suspects.insert(p);
+        let mut expired = Vec::new();
+        while let Some(&Reverse((deadline, p))) = self.deadlines.peek() {
+            if deadline > now {
+                break;
+            }
+            self.deadlines.pop();
+            // Live iff this entry carries the peer's *current* lease.
+            if self.last_heard.get(&p) == Some(&deadline.saturating_sub(self.suspect_after)) {
+                self.last_heard.remove(&p);
+                self.suspects.insert(p);
+                expired.push(p);
+            }
         }
+        // The scan this replaces reported expiries in map (ascending-id)
+        // order; deterministic replay depends on preserving that.
+        expired.sort_unstable();
         expired
     }
 
@@ -230,6 +298,59 @@ mod tests {
         d.forget(P1);
         assert!(!d.is_suspect(P1));
         assert!(d.tick(1_000).is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "instances never return")]
+    fn re_tracking_a_forgotten_id_is_rejected() {
+        let mut d = HeartbeatDetector::new(10);
+        d.track(P1, 0);
+        d.forget(P1);
+        d.track(P1, 50); // model violation: the instance was retired
+    }
+
+    #[test]
+    fn renewed_leases_leave_only_stale_heap_entries() {
+        // Several life signs per peer: each renewal supersedes the previous
+        // deadline, and only the *latest* lease decides expiry.
+        let mut d = HeartbeatDetector::new(100);
+        d.track(P1, 0);
+        for t in [10, 20, 30, 250] {
+            d.heard_from(P1, t);
+        }
+        assert!(
+            d.tick(349).is_empty(),
+            "stale deadlines (110..=130) must not fire at 349"
+        );
+        assert_eq!(d.tick(350), vec![P1], "the live lease expires at 250+100");
+    }
+
+    #[test]
+    fn simultaneous_expiries_surface_in_ascending_id_order() {
+        // The heap orders by (deadline, id); equal deadlines must still come
+        // out ascending by id, like the map scan this replaced.
+        let mut d = HeartbeatDetector::new(50);
+        let ids = [7, 3, 9, 1, 5].map(ProcessId);
+        for p in ids {
+            d.track(p, 0);
+        }
+        let expired = d.tick(50);
+        assert_eq!(expired, [1, 3, 5, 7, 9].map(ProcessId).to_vec());
+        assert!(d.tracked().next().is_none());
+    }
+
+    #[test]
+    fn gossip_suspicion_invalidates_the_pending_deadline() {
+        let mut d = HeartbeatDetector::new(100);
+        d.track(P1, 0);
+        d.track(P2, 0);
+        assert!(d.suspect(P1)); // learned via gossip before the timeout
+        assert_eq!(
+            d.tick(100),
+            vec![P2],
+            "P1's stale deadline must not re-report it"
+        );
     }
 
     #[test]

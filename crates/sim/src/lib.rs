@@ -17,9 +17,13 @@
 //! be measured (`gmp-bench`). Stamps are copy-on-write snapshots
 //! ([`gmp_causality::Stamp`]): recording an event is O(1) unless the clock
 //! advanced since the previous stamp, which keeps tracing cheap at large
-//! `n`. The [`batch`] module ([`run_seeds`]) replays one scenario across a
-//! whole seed range and aggregates percentile statistics ([`Summary`]) for
-//! schedule-space exploration.
+//! `n`. Fan-out payloads get the same treatment: wrapping a payload in
+//! [`Shared`] makes every per-recipient message clone — whether via
+//! [`Ctx::broadcast`] or a per-target [`Ctx::send`] loop — an O(1)
+//! reference bump on one allocation instead of a deep copy. The [`batch`]
+//! module ([`run_seeds`]) replays one scenario across a whole seed range
+//! and aggregates percentile statistics ([`Summary`]) for schedule-space
+//! exploration.
 //!
 //! # Example
 //!
@@ -54,6 +58,7 @@
 pub mod batch;
 pub mod net;
 pub mod node;
+pub mod shared;
 pub mod stats;
 pub mod trace;
 
@@ -63,6 +68,7 @@ pub use batch::{run_seeds, summarize_runs, BatchConfig, RunStats};
 pub use engine::{Builder, NodeStatus, Sim};
 pub use net::BlockMode;
 pub use node::{Ctx, Message, Node, TimerId};
+pub use shared::Shared;
 pub use stats::{Stats, Summary};
 pub use trace::{Trace, TraceEvent, TraceKind};
 

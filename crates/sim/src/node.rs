@@ -77,6 +77,15 @@ impl<'a, M: Message> Ctx<'a, M> {
     /// this one. Indivisible in the sense that no other handler of this
     /// process runs in between, but *not* failure-atomic: a scheduled crash
     /// can cut it short after any prefix of the sends.
+    ///
+    /// The message is cloned once per recipient. For payload-free messages
+    /// that clone is trivially cheap; for bulk payloads, wrap them in
+    /// [`Shared`](crate::Shared) so one constructed payload fans out to
+    /// `n − 1` recipients as O(1) reference bumps instead of deep copies.
+    /// (The same holds for a hand-rolled per-target [`send`](Ctx::send)
+    /// loop, which is what `gmp-core`'s heartbeat digests use — each
+    /// recipient picks a full or empty digest, but all full ones share one
+    /// `Shared` snapshot.)
     pub fn broadcast<I>(&mut self, to: I, msg: M)
     where
         I: IntoIterator<Item = ProcessId>,

@@ -171,5 +171,59 @@ mod tests {
         let one = Summary::of(&[7]);
         assert_eq!((one.min, one.p50, one.p99, one.max), (7, 7, 7, 7));
         assert_eq!(one.count, 1);
+        assert_eq!((one.p90, one.mean), (7, 7.0));
+    }
+
+    #[test]
+    fn summary_two_samples() {
+        // Nearest rank at len 2: rank(50) = ceil(1.0) = 1 → the smaller
+        // sample; rank(90) = ceil(1.8) = 2 and rank(99) = 2 → the larger.
+        let s = Summary::of(&[10, 2]);
+        assert_eq!(s.count, 2);
+        assert_eq!((s.min, s.max), (2, 10));
+        assert_eq!(s.p50, 2);
+        assert_eq!((s.p90, s.p99), (10, 10));
+        assert_eq!(s.mean, 6.0);
+    }
+
+    #[test]
+    fn summary_all_equal_inputs() {
+        for len in [1usize, 2, 3, 17] {
+            let values = vec![42u64; len];
+            let s = Summary::of(&values);
+            assert_eq!(s.count, len);
+            assert_eq!(
+                (s.min, s.p50, s.p90, s.p99, s.max),
+                (42, 42, 42, 42, 42),
+                "len {len}: every order statistic of a constant sample is 42"
+            );
+            assert_eq!(s.mean, 42.0);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Explicit case budget; failures replay via the per-case seeds
+            // recorded in proptest-regressions/.
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+            /// Order statistics are monotone in the percentile for any
+            /// sample: min ≤ p50 ≤ p90 ≤ p99 ≤ max (and every one is an
+            /// actual sample value, which nearest-rank guarantees).
+            #[test]
+            fn percentiles_are_monotone(values in proptest::collection::vec(0u64..1_000_000, 1..80)) {
+                let s = Summary::of(&values);
+                prop_assert_eq!(s.count, values.len());
+                prop_assert!(s.min <= s.p50);
+                prop_assert!(s.p50 <= s.p90);
+                prop_assert!(s.p90 <= s.p99);
+                prop_assert!(s.p99 <= s.max);
+                prop_assert!(values.contains(&s.p50) && values.contains(&s.p99));
+                prop_assert!(s.min as f64 <= s.mean && s.mean <= s.max as f64);
+            }
+        }
     }
 }
