@@ -1,18 +1,53 @@
 //! Regenerates every analytic table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release -p gmp-bench --bin tables            # everything
-//! cargo run --release -p gmp-bench --bin tables -- e1 t1   # a subset
+//! cargo run --release -p gmp-bench --bin tables              # everything
+//! cargo run --release -p gmp-bench --bin tables -- e1 t1     # a subset
+//! cargo run --release -p gmp-bench --bin tables -- e8 --jobs 4
 //! ```
 //!
 //! Experiment ids follow `EXPERIMENTS.md`: t1, f1, f3, f4, f11, c71,
-//! e1..e9, a1, ab1, ab2.
+//! e1..e10, a1, ab1, ab2. Flags:
+//!
+//! * `--jobs N` — worker threads for the sweep experiments (E8/E9/E10).
+//!   Default: every core the platform reports. For E10 — whose whole
+//!   point is comparing thread counts — `--jobs N` shrinks the swept
+//!   ladder to `{1, N}` so smoke runs stay cheap; without it the ladder
+//!   is `{1, 2, 4, 8}`.
+//! * `--seeds N` — seeds per sweep (default 48 for E8; 256 for E10 when
+//!   `e10` is requested by name, 32 in the bare "everything" run so the
+//!   no-argument quickstart stays minutes, not hours). Output *values*
+//!   are per-seed deterministic either way; fewer seeds just samples
+//!   fewer schedules.
 
 use gmp_bench::*;
 use gmp_props::{analyze, check_safety};
+use std::num::NonZeroUsize;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut jobs_flag: Option<usize> = None;
+    let mut seeds_flag: Option<u64> = None;
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "--seeds" => {
+                let v: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&v| v >= 1)
+                    .unwrap_or_else(|| panic!("{a} needs a numeric value >= 1"));
+                if a == "--jobs" {
+                    jobs_flag = Some(v as usize);
+                } else {
+                    seeds_flag = Some(v);
+                }
+            }
+            _ => args.push(a),
+        }
+    }
+    let jobs = jobs_flag.and_then(NonZeroUsize::new);
     let all = args.is_empty();
     let want = |id: &str| all || args.iter().any(|a| a == id);
     let seed = 42;
@@ -239,13 +274,16 @@ fn main() {
     }
 
     if want("e8") {
+        let seeds = seeds_flag.unwrap_or(48);
         println!("== E8: multi-seed schedule sweep — exclusion cost percentiles ==");
-        println!("(one exclusion, 48 seeds per n; delays resampled per seed)\n");
+        println!(
+            "(one exclusion, {seeds} seeds per n; delays resampled per seed; parallel runner)\n"
+        );
         println!(
             "{:<6} {:<7} {:<8} {:<22} {:<24} events p50",
             "n", "seeds", "3n-5", "protocol p50/p90/p99", "protocol min..max"
         );
-        for r in e8_seed_sweep(&[8, 16, 32, 64, 128], 0..48) {
+        for r in e8_seed_sweep(&[8, 16, 32, 64, 128], 0..seeds, jobs) {
             println!(
                 "{:<6} {:<7} {:<8} {:<22} {:<24} {}",
                 r.n,
@@ -274,7 +312,7 @@ fn main() {
             "{:<6} {:<10} {:<12} {:<16} {:<16} legacy clones (Θ(n²)/interval)",
             "n", "intervals", "heartbeats", "msgs/interval", "payload builds"
         );
-        for r in e9_heartbeat_fanout(&[8, 16, 32, 64, 128], seed) {
+        for r in e9_heartbeat_fanout(&[8, 16, 32, 64, 128], seed, jobs) {
             println!(
                 "{:<6} {:<10} {:<12} {:<16.1} {:<16} {}",
                 r.n,
@@ -288,6 +326,43 @@ fn main() {
         println!(
             "(payload builds ≈ one per member per faulty-set change, independent of intervals)\n"
         );
+    }
+
+    if want("e10") {
+        // Full scale (256 seeds, n up to 192 — an hour-plus single-core,
+        // see EXPERIMENTS.md) only when e10 is asked for by name; the
+        // bare "everything" invocation gets a minutes-sized slice.
+        let explicit = args.iter().any(|a| a == "e10");
+        let seeds = seeds_flag.unwrap_or(if explicit { 256 } else { 32 });
+        let ns: &[usize] = if explicit { &[128, 192] } else { &[128] };
+        // E10 compares thread counts, so --jobs shrinks the swept ladder
+        // ({1, N}) rather than pinning a single value.
+        let ladder: Vec<usize> = match jobs_flag {
+            Some(1) => vec![1],
+            Some(n) => vec![1, n],
+            None => vec![1, 2, 4, 8],
+        };
+        println!("== E10: parallel seed-sweep scaling — wall-clock vs worker threads ==");
+        println!(
+            "({seeds}-seed exclusion sweeps; cores available: {}; identical = output equals jobs=1)\n",
+            gmp_sim::pool::available_jobs()
+        );
+        println!(
+            "{:<6} {:<7} {:<6} {:<12} {:<9} identical",
+            "n", "seeds", "jobs", "wall", "speedup"
+        );
+        for r in e10_parallel_scaling(ns, 0..seeds, &ladder) {
+            println!(
+                "{:<6} {:<7} {:<6} {:<12} {:<9} {}",
+                r.n,
+                r.seeds,
+                r.jobs,
+                format!("{:.2}s", r.wall.as_secs_f64()),
+                format!("{:.2}x", r.speedup),
+                r.identical
+            );
+        }
+        println!("(runs are independent: speedup tracks min(jobs, cores); output never moves)\n");
     }
 
     if want("a1") {

@@ -11,9 +11,13 @@
 use gmp_baselines::{SymMsg, SymmetricMember};
 use gmp_core::{cluster_with, is_protocol_tag, ClusterBuilder, Config, JoinConfig, Member, Msg};
 use gmp_props::{analyze, check_all, check_safety, knowledge_ladder, render_ladder};
-use gmp_sim::{run_seeds, summarize_runs, BatchConfig, Builder, Sim, Stats, Summary, TraceKind};
+use gmp_sim::{
+    pool, run_seeds_parallel, summarize_runs, BatchConfig, Builder, Sim, Stats, Summary, TraceKind,
+};
 use gmp_types::{Note, ProcessId, View};
+use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::time::{Duration, Instant};
 
 /// Total protocol messages sent in a run (§7.2 counting convention).
 pub fn protocol_messages(stats: &Stats) -> u64 {
@@ -654,20 +658,23 @@ pub struct SweepRow {
 /// timing is coarsened (`timing(100, 400)`) so heartbeat traffic stays
 /// tractable at `n = 128`; protocol-message counts are unaffected.
 ///
+/// Runs execute on the [`run_seeds_parallel`] worker pool — `jobs = None`
+/// auto-detects the core count (`tables … --jobs N` overrides it). The
+/// rows are identical for every `jobs` value; only wall-clock time moves
+/// (E10 measures by how much).
+///
 /// ```
 /// use gmp_bench::e8_seed_sweep;
 ///
-/// let rows = e8_seed_sweep(&[8], 0..4);
+/// let rows = e8_seed_sweep(&[8], 0..4, None);
 /// assert_eq!(rows[0].seeds, 4);
 /// assert_eq!(rows[0].protocol.max, rows[0].formula);
 /// ```
-pub fn e8_seed_sweep(ns: &[usize], seeds: Range<u64>) -> Vec<SweepRow> {
+pub fn e8_seed_sweep(ns: &[usize], seeds: Range<u64>, jobs: Option<NonZeroUsize>) -> Vec<SweepRow> {
     ns.iter()
         .map(|&n| {
-            let runs = run_seeds(seeds.clone(), BatchConfig::new(2_000), |seed| {
-                let mut sim = cluster_with(n, seed, Config::default().timing(100, 400));
-                sim.crash_at(ProcessId(n as u32 - 1), 300);
-                sim
+            let runs = run_seeds_parallel(seeds.clone(), BatchConfig::new(2_000), jobs, |seed| {
+                exclusion_sweep_run(n, seed)
             });
             SweepRow {
                 n,
@@ -678,6 +685,14 @@ pub fn e8_seed_sweep(ns: &[usize], seeds: Range<u64>) -> Vec<SweepRow> {
             }
         })
         .collect()
+}
+
+/// The per-seed scenario E8 and E10 sweep: one exclusion under coarsened
+/// detector timing, delays resampled by the seed.
+fn exclusion_sweep_run(n: usize, seed: u64) -> Sim<Msg, Member> {
+    let mut sim = cluster_with(n, seed, Config::default().timing(100, 400));
+    sim.crash_at(ProcessId(n as u32 - 1), 300);
+    sim
 }
 
 // ---------------------------------------------------------------------
@@ -716,40 +731,126 @@ pub struct FanoutRow {
 /// message (`legacy_builds`, Θ(n²) per interval) to one per faulty-set
 /// change (`payload_builds`, ≤ a small multiple of n for the whole run).
 ///
+/// E9 is one run per group size, so it parallelizes over the `ns` axis
+/// instead of a seed range: each row executes as an independent
+/// [`pool::run_indexed`] task (`jobs = None` auto-detects; rows come back
+/// in `ns` order regardless).
+///
 /// ```
 /// use gmp_bench::e9_heartbeat_fanout;
 ///
-/// let rows = e9_heartbeat_fanout(&[8], 0);
+/// let rows = e9_heartbeat_fanout(&[8], 0, None);
 /// let r = &rows[0];
 /// assert!(r.payload_builds <= 2 * 8, "at most a couple builds per member");
 /// assert!(r.legacy_builds as f64 > 0.5 * r.msgs_per_interval * r.intervals as f64);
 /// ```
-pub fn e9_heartbeat_fanout(ns: &[usize], seed: u64) -> Vec<FanoutRow> {
-    ns.iter()
-        .map(|&n| {
-            let horizon = 4_000;
-            let cfg = Config::default().timing(100, 400);
-            let intervals = horizon / cfg.heartbeat_every;
-            let mut sim = cluster_with(n, seed + n as u64, cfg);
-            sim.crash_at(ProcessId(n as u32 - 1), 300);
-            sim.run_until(horizon);
-            let heartbeats = sim.stats().sends("heartbeat");
-            let payload_builds: u64 = (0..n as u32)
-                .map(|p| sim.node(ProcessId(p)).heartbeat_payload_builds())
-                .sum();
-            // The retired encoding cloned the faulty `Vec` into every
-            // heartbeat and materialized it once per member per tick.
-            let legacy_builds = heartbeats + intervals * n as u64;
-            FanoutRow {
+pub fn e9_heartbeat_fanout(ns: &[usize], seed: u64, jobs: Option<NonZeroUsize>) -> Vec<FanoutRow> {
+    let jobs = jobs.unwrap_or_else(pool::available_jobs);
+    pool::run_indexed(jobs, ns.len(), |i| {
+        let n = ns[i];
+        let horizon = 4_000;
+        let cfg = Config::default().timing(100, 400);
+        let intervals = horizon / cfg.heartbeat_every;
+        let mut sim = cluster_with(n, seed + n as u64, cfg);
+        sim.crash_at(ProcessId(n as u32 - 1), 300);
+        sim.run_until(horizon);
+        let heartbeats = sim.stats().sends("heartbeat");
+        let payload_builds: u64 = (0..n as u32)
+            .map(|p| sim.node(ProcessId(p)).heartbeat_payload_builds())
+            .sum();
+        // The retired encoding cloned the faulty `Vec` into every
+        // heartbeat and materialized it once per member per tick.
+        let legacy_builds = heartbeats + intervals * n as u64;
+        FanoutRow {
+            n,
+            intervals,
+            heartbeats,
+            msgs_per_interval: heartbeats as f64 / intervals as f64,
+            payload_builds,
+            legacy_builds,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// E10 — parallel scaling of the seed-sweep engine: wall-clock vs. jobs
+// ---------------------------------------------------------------------
+
+/// One row of the E10 parallel-scaling table: the same seed sweep timed at
+/// one worker-thread count.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Group size.
+    pub n: usize,
+    /// Seeds swept.
+    pub seeds: usize,
+    /// Worker threads used for this row.
+    pub jobs: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Wall-clock of this table's `jobs = 1` row divided by this row's —
+    /// ideal is `min(jobs, cores)`.
+    pub speedup: f64,
+    /// Whether this row's `RunStats` vector is identical to the
+    /// sequential (`jobs = 1`) row's. Must always be `true`: the pool
+    /// trades wall-clock time, never output.
+    pub identical: bool,
+}
+
+/// Times the E8 exclusion sweep at each worker-thread count in
+/// `jobs_list`, pinning output equality against the `jobs = 1` baseline
+/// as it goes.
+///
+/// Runs are independent (one `Sim` per seed, no shared state), so the
+/// sweep scales with physical cores; on a single-core host every row
+/// degenerates to ~1× but `identical` still proves the thread pool is
+/// output-invisible. This is the experiment that makes large sweeps —
+/// 256 seeds at n ≥ 128, previously a multi-minute sequential run —
+/// practical on multicore hosts.
+///
+/// ```
+/// use gmp_bench::e10_parallel_scaling;
+///
+/// let rows = e10_parallel_scaling(&[8], 0..6, &[1, 2]);
+/// assert_eq!(rows.len(), 2);
+/// assert!(rows.iter().all(|r| r.identical), "jobs must not change output");
+/// assert_eq!((rows[0].jobs, rows[1].jobs), (1, 2));
+/// ```
+pub fn e10_parallel_scaling(
+    ns: &[usize],
+    seeds: Range<u64>,
+    jobs_list: &[usize],
+) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for &n in ns {
+        let timed_sweep = |jobs: usize| {
+            let start = Instant::now();
+            let runs = run_seeds_parallel(
+                seeds.clone(),
+                BatchConfig::new(2_000),
+                NonZeroUsize::new(jobs.max(1)),
+                |seed| exclusion_sweep_run(n, seed),
+            );
+            (start.elapsed(), runs)
+        };
+        let (base_wall, base_runs) = timed_sweep(1);
+        for &jobs in jobs_list {
+            let (wall, runs) = if jobs == 1 {
+                (base_wall, base_runs.clone())
+            } else {
+                timed_sweep(jobs)
+            };
+            rows.push(ScalingRow {
                 n,
-                intervals,
-                heartbeats,
-                msgs_per_interval: heartbeats as f64 / intervals as f64,
-                payload_builds,
-                legacy_builds,
-            }
-        })
-        .collect()
+                seeds: runs.len(),
+                jobs,
+                speedup: base_wall.as_secs_f64() / wall.as_secs_f64().max(f64::EPSILON),
+                wall,
+                identical: runs == base_runs,
+            });
+        }
+    }
+    rows
 }
 
 /// Convenience: a standard exclusion run for the Criterion benchmarks.
@@ -880,7 +981,7 @@ mod tests {
 
     #[test]
     fn e8_sweep_is_schedule_independent_on_protocol_messages() {
-        let rows = e8_seed_sweep(&[8, 16], 0..8);
+        let rows = e8_seed_sweep(&[8, 16], 0..8, None);
         for row in rows {
             assert_eq!(row.seeds, 8);
             assert_eq!(row.protocol.count, 8);
@@ -899,7 +1000,7 @@ mod tests {
 
     #[test]
     fn e9_payload_constructions_collapse_from_quadratic_to_linear() {
-        for row in e9_heartbeat_fanout(&[8, 16, 32], 900) {
+        for row in e9_heartbeat_fanout(&[8, 16, 32], 900, None) {
             let n = row.n as u64;
             // Messages stay all-to-all: the digest encoding must not change
             // the protocol-visible fan-out (≥ (n-1)(n-2) once the victim is
@@ -926,6 +1027,48 @@ mod tests {
             );
             assert!(row.payload_builds > 0, "the exclusion must publish once");
         }
+    }
+
+    /// The protocol-level half of the `Send` audit: a full cluster
+    /// simulator (protocol messages carrying `Shared` digest payloads,
+    /// members owning a heartbeat detector) crosses thread boundaries,
+    /// which is what lets E8/E10 sweep real exclusions on the pool.
+    #[test]
+    fn cluster_sim_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Sim<Msg, Member>>();
+    }
+
+    #[test]
+    fn e8_rows_are_identical_for_any_job_count() {
+        let sequential = e8_seed_sweep(&[8], 0..6, NonZeroUsize::new(1));
+        let parallel = e8_seed_sweep(&[8], 0..6, NonZeroUsize::new(4));
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!((s.n, s.seeds, s.formula), (p.n, p.seeds, p.formula));
+            assert_eq!(
+                s.protocol, p.protocol,
+                "n={}: protocol summary drifted",
+                s.n
+            );
+            assert_eq!(s.events, p.events, "n={}: events summary drifted", s.n);
+        }
+    }
+
+    #[test]
+    fn e10_pins_output_equality_while_it_times() {
+        let rows = e10_parallel_scaling(&[8], 0..8, &[1, 2, 4]);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.seeds, 8);
+            assert!(r.identical, "jobs={}: output diverged from jobs=1", r.jobs);
+            assert!(r.wall.as_nanos() > 0);
+            assert!(r.speedup > 0.0);
+        }
+        assert!(
+            (rows[0].speedup - 1.0).abs() < 1e-9,
+            "jobs=1 is its own baseline"
+        );
     }
 
     #[test]

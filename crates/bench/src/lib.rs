@@ -8,9 +8,12 @@
 //!   benchmarks (`cargo bench -p gmp-bench`).
 //!
 //! Experiments come in two shapes: single-run workloads pinned to one seed
-//! (E1–E7, the tables and figures), and the E8 *seed sweep*, which drives
-//! the [`gmp_sim::run_seeds`] batch runner across a whole seed range and
-//! reports percentile statistics — schedule-space exploration in one call.
+//! (E1–E7, the tables and figures), and the *seed sweeps* (E8, E10), which
+//! drive the [`gmp_sim::run_seeds_parallel`] batch runner across a whole
+//! seed range — on the scoped worker pool, `--jobs` threads at a time —
+//! and report percentile statistics. Schedule-space exploration in one
+//! call, at multicore speed, with output pinned identical to the
+//! sequential runner's.
 //!
 //! # Example
 //!
@@ -23,7 +26,7 @@
 //! assert_eq!(row.formula, 10);
 //!
 //! // Many runs: the same bound holds across every sampled schedule.
-//! let sweep = &e8_seed_sweep(&[5], 0..8)[0];
+//! let sweep = &e8_seed_sweep(&[5], 0..8, None)[0];
 //! assert_eq!(sweep.protocol.min, sweep.formula);
 //! assert_eq!(sweep.protocol.p99, sweep.formula);
 //! ```

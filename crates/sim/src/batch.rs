@@ -10,6 +10,12 @@
 //! (see [`gmp_causality::CowClock`]) keeps this affordable at `n` up to 128
 //! and dozens of seeds per call.
 //!
+//! Because runs are independent, the sweep parallelizes perfectly:
+//! [`run_seeds_parallel`] executes the same sweep on a scoped worker pool
+//! ([`pool`]) and returns a vector **identical** to the
+//! sequential runner's, in seed order, whatever the thread count — the
+//! pool changes wall-clock time, never output.
+//!
 //! # Example
 //!
 //! ```
@@ -53,26 +59,47 @@
 
 use crate::engine::Sim;
 use crate::node::{Message, Node};
+use crate::pool;
 use crate::stats::{Stats, Summary};
 use crate::Time;
+use std::num::NonZeroUsize;
 use std::ops::Range;
 
-/// How far each run of a seed sweep executes.
+/// How far each run of a seed sweep executes, and on how many threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BatchConfig {
     /// Simulated-time horizon passed to [`Sim::run_until`] for every seed.
     pub horizon: Time,
+    /// Worker threads for [`run_seeds_parallel`]. `None` (the default)
+    /// means [`pool::available_jobs`] — every core the platform reports.
+    /// [`run_seeds`] is always sequential and ignores this knob.
+    pub jobs: Option<NonZeroUsize>,
 }
 
 impl BatchConfig {
-    /// A sweep whose runs all execute to the given horizon.
+    /// A sweep whose runs all execute to the given horizon, with the
+    /// default (auto-detected) parallelism.
     pub fn new(horizon: Time) -> Self {
-        BatchConfig { horizon }
+        BatchConfig {
+            horizon,
+            jobs: None,
+        }
+    }
+
+    /// Sets the worker-thread count for [`run_seeds_parallel`]. `0`
+    /// restores the default (auto-detect).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = NonZeroUsize::new(jobs);
+        self
     }
 }
 
 /// Outcome of one seeded run of a batch.
-#[derive(Clone, Debug)]
+///
+/// Two `RunStats` compare equal iff every recorded figure — seed, event
+/// count, survivors, end time, and all per-tag message counters — matches;
+/// the determinism tests compare whole sweep vectors this way.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunStats {
     /// The seed that produced this run.
     pub seed: u64,
@@ -86,6 +113,24 @@ pub struct RunStats {
     pub stats: Stats,
 }
 
+/// Executes one already-built run of a sweep to the horizon and collects
+/// its statistics. Shared verbatim by the sequential and parallel runners,
+/// so their per-run behavior cannot drift apart.
+fn finish_run<M, N>(seed: u64, config: &BatchConfig, mut sim: Sim<M, N>) -> RunStats
+where
+    M: Message,
+    N: Node<M>,
+{
+    sim.run_until(config.horizon);
+    RunStats {
+        seed,
+        events: sim.trace().events.len(),
+        living: sim.living().len(),
+        end_time: sim.now(),
+        stats: sim.stats().clone(),
+    }
+}
+
 /// Runs `build(seed)` to the configured horizon for every seed in `seeds`,
 /// in order, and collects one [`RunStats`] per run.
 ///
@@ -93,25 +138,73 @@ pub struct RunStats {
 /// `Builder::new().seed(seed)` plus the scenario's nodes and fault
 /// schedule. Each run is a pure function of its seed, so the returned
 /// vector is deterministic end to end.
+///
+/// # Seed-range contract
+///
+/// An **empty** range (`a..a`) is a legal degenerate sweep and returns an
+/// empty vector. A **reversed** range (`start > end`) is a caller bug, not
+/// a sweep: debug builds reject it with a `debug_assert!`, release builds
+/// fall through to `Range`'s iteration semantics and return an empty
+/// vector. The same contract applies to [`run_seeds_parallel`].
 pub fn run_seeds<M, N, F>(seeds: Range<u64>, config: BatchConfig, mut build: F) -> Vec<RunStats>
 where
     M: Message,
     N: Node<M>,
     F: FnMut(u64) -> Sim<M, N>,
 {
+    debug_assert!(
+        seeds.start <= seeds.end,
+        "reversed seed range {}..{} (empty ranges are written a..a)",
+        seeds.start,
+        seeds.end
+    );
     seeds
-        .map(|seed| {
-            let mut sim = build(seed);
-            sim.run_until(config.horizon);
-            RunStats {
-                seed,
-                events: sim.trace().events.len(),
-                living: sim.living().len(),
-                end_time: sim.now(),
-                stats: sim.stats().clone(),
-            }
-        })
+        .map(|seed| finish_run(seed, &config, build(seed)))
         .collect()
+}
+
+/// [`run_seeds`] on the scoped worker pool: the same sweep, the same
+/// seed-ordered output, executed on `jobs` threads.
+///
+/// The returned vector is **identical** to the sequential runner's for any
+/// thread count — runs are pure functions of their seeds, workers claim
+/// seeds work-stealing style off an atomic cursor, and every result is
+/// slotted by its index in the range (see [`pool::run_indexed`]). The
+/// determinism suite and a property test pin `run_seeds_parallel(…) ==
+/// run_seeds(…)` across ranges, horizons, and job counts.
+///
+/// `jobs` resolves in order: the explicit argument, then
+/// [`BatchConfig::jobs`], then [`pool::available_jobs`]. Unlike
+/// [`run_seeds`], `build` must be callable from worker threads (`Fn +
+/// Sync`) and the simulator's message and node types must be [`Send`] —
+/// see the crate docs' `Send` audit.
+///
+/// # Seed-range contract
+///
+/// Same as [`run_seeds`]: empty is legal, reversed is a debug-build panic.
+pub fn run_seeds_parallel<M, N, F>(
+    seeds: Range<u64>,
+    config: BatchConfig,
+    jobs: Option<NonZeroUsize>,
+    build: F,
+) -> Vec<RunStats>
+where
+    M: Message + Send,
+    N: Node<M> + Send,
+    F: Fn(u64) -> Sim<M, N> + Sync,
+{
+    debug_assert!(
+        seeds.start <= seeds.end,
+        "reversed seed range {}..{} (empty ranges are written a..a)",
+        seeds.start,
+        seeds.end
+    );
+    let jobs = jobs.or(config.jobs).unwrap_or_else(pool::available_jobs);
+    let count = seeds.end.saturating_sub(seeds.start) as usize;
+    pool::run_indexed(jobs, count, |i| {
+        let seed = seeds.start + i as u64;
+        finish_run(seed, &config, build(seed))
+    })
 }
 
 /// Extracts `metric` from every run and summarizes it (min/max/mean and
@@ -179,10 +272,7 @@ mod tests {
     fn batch_is_deterministic() {
         let a = run_seeds(0..16, BatchConfig::new(500), |s| ring(4, s));
         let b = run_seeds(0..16, BatchConfig::new(500), |s| ring(4, s));
-        let key = |rs: &[RunStats]| -> Vec<(u64, usize)> {
-            rs.iter().map(|r| (r.seed, r.events)).collect()
-        };
-        assert_eq!(key(&a), key(&b));
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -205,6 +295,35 @@ mod tests {
         let runs = run_seeds(3..3, BatchConfig::new(100), |s| ring(3, s));
         assert!(runs.is_empty());
         assert_eq!(summarize_runs(&runs, |r| r.events as u64).count, 0);
+        let par = run_seeds_parallel(3..3, BatchConfig::new(100), None, |s| ring(3, s));
+        assert!(par.is_empty());
+    }
+
+    #[test]
+    fn single_seed_sweeps_work() {
+        let seq = run_seeds(9..10, BatchConfig::new(500), |s| ring(4, s));
+        let par = run_seeds_parallel(9..10, BatchConfig::new(500), None, |s| ring(4, s));
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq, par);
+        assert_eq!(seq[0].seed, 9);
+    }
+
+    // A reversed range is precisely the caller bug the contract rejects,
+    // so the lint against constructing one is suppressed here on purpose.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "reversed seed range")]
+    #[allow(clippy::reversed_empty_ranges)]
+    fn reversed_range_is_rejected_in_debug() {
+        let _ = run_seeds(5..2, BatchConfig::new(100), |s| ring(3, s));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "reversed seed range")]
+    #[allow(clippy::reversed_empty_ranges)]
+    fn reversed_range_is_rejected_in_debug_parallel() {
+        let _ = run_seeds_parallel(5..2, BatchConfig::new(100), None, |s| ring(3, s));
     }
 
     #[test]
@@ -216,6 +335,93 @@ mod tests {
         });
         for r in &runs {
             assert_eq!(r.living, 3, "seed {}: crash must apply", r.seed);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_every_job_count() {
+        let config = BatchConfig::new(600);
+        let sequential = run_seeds(0..24, config, |s| ring(5, s));
+        for jobs in [1usize, 2, 3, 4, 8, 32] {
+            let parallel =
+                run_seeds_parallel(0..24, config, NonZeroUsize::new(jobs), |s| ring(5, s));
+            assert_eq!(parallel, sequential, "jobs={jobs}: output diverged");
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_seeds_matches_sequential() {
+        let config = BatchConfig::new(400);
+        let sequential = run_seeds(0..3, config, |s| ring(4, s));
+        let parallel = run_seeds_parallel(0..3, config, NonZeroUsize::new(16), |s| ring(4, s));
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn config_jobs_knob_is_honored() {
+        // jobs through the config, not the argument: same output.
+        let sequential = run_seeds(0..12, BatchConfig::new(500), |s| ring(4, s));
+        let via_config =
+            run_seeds_parallel(0..12, BatchConfig::new(500).jobs(4), None, |s| ring(4, s));
+        assert_eq!(via_config, sequential);
+        // jobs(0) restores auto-detection.
+        assert_eq!(BatchConfig::new(500).jobs(4).jobs(0).jobs, None);
+    }
+
+    #[test]
+    fn parallel_runs_apply_fault_schedules() {
+        let runs = run_seeds_parallel(0..8, BatchConfig::new(500), NonZeroUsize::new(4), |s| {
+            let mut sim = ring(4, s);
+            sim.crash_at(ProcessId(3), 1);
+            sim
+        });
+        for r in &runs {
+            assert_eq!(r.living, 3, "seed {}: crash must apply", r.seed);
+        }
+    }
+
+    /// The engine-level `Send` audit, checked at compile time: a simulator
+    /// whose message and node types are `Send` is itself `Send`, which is
+    /// what lets whole runs execute on pool worker threads. (All engine
+    /// internals — `SmallRng`, the event queue, `Arc`-backed `Stamp` and
+    /// `Shared` payloads — are `Send + Sync`-safe by construction; nothing
+    /// in the stack uses `Rc` or interior mutability.)
+    #[test]
+    fn sim_is_send_when_message_and_node_are() {
+        fn assert_send<T: Send>(_: &T) {}
+        let sim = ring(3, 0);
+        assert_send(&sim);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Explicit case budget; failures replay via the per-case seeds
+            // recorded in proptest-regressions/.
+            #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+            /// The tentpole's determinism pin as a property: for arbitrary
+            /// seed ranges, horizons, group sizes and job counts, the
+            /// parallel sweep returns the *same `RunStats` vector* as the
+            /// sequential one — thread scheduling is invisible in the
+            /// output.
+            #[test]
+            fn parallel_equals_sequential(
+                start in 0u64..1_000,
+                len in 0u64..24,
+                horizon in 1u64..800,
+                jobs in 1usize..=8,
+                n in 2u32..6,
+            ) {
+                let seeds = start..start + len;
+                let config = BatchConfig::new(horizon);
+                let sequential = run_seeds(seeds.clone(), config, |s| ring(n, s));
+                let parallel =
+                    run_seeds_parallel(seeds, config, NonZeroUsize::new(jobs), |s| ring(n, s));
+                prop_assert_eq!(parallel, sequential);
+            }
         }
     }
 }

@@ -23,7 +23,22 @@
 //! reference bump on one allocation instead of a deep copy. The [`batch`]
 //! module ([`run_seeds`]) replays one scenario across a whole seed range
 //! and aggregates percentile statistics ([`Summary`]) for schedule-space
-//! exploration.
+//! exploration; [`run_seeds_parallel`] executes the same sweep on a
+//! scoped-thread worker [`pool`] with seed-ordered, byte-identical output.
+//!
+//! # Threading and the `Send` audit
+//!
+//! The engine itself is single-threaded: one `Sim` is one deterministic
+//! run. Parallelism happens *between* runs — the worker pool gives each
+//! thread its own `Sim` built from its own seed. That is sound because
+//! `Sim<M, N>: Send` whenever `M: Send` and `N: Send`: every engine
+//! internal is owned data (`SmallRng` is a plain xoshiro256++ state, the
+//! event queue and link state are `std` collections of owned values) or an
+//! atomically reference-counted snapshot ([`gmp_causality::Stamp`] and
+//! [`Shared`] both wrap [`std::sync::Arc`]). Nothing in the stack uses
+//! `Rc`, thread-locals, or interior mutability, so the auto trait holds —
+//! pinned by a compile-time assertion in `batch.rs`'s tests and relied on
+//! by [`run_seeds_parallel`]'s `M: Send, N: Send` bounds.
 //!
 //! # Example
 //!
@@ -58,13 +73,14 @@
 pub mod batch;
 pub mod net;
 pub mod node;
+pub mod pool;
 pub mod shared;
 pub mod stats;
 pub mod trace;
 
 mod engine;
 
-pub use batch::{run_seeds, summarize_runs, BatchConfig, RunStats};
+pub use batch::{run_seeds, run_seeds_parallel, summarize_runs, BatchConfig, RunStats};
 pub use engine::{Builder, NodeStatus, Sim};
 pub use net::BlockMode;
 pub use node::{Ctx, Message, Node, TimerId};

@@ -9,7 +9,11 @@ use std::collections::BTreeMap;
 /// tables: a broadcast counts one message per receiver, a process never
 /// messages itself, and heartbeats / reports / state transfer are excluded
 /// by tag filtering (see `EXPERIMENTS.md` for the counting convention).
-#[derive(Clone, Debug, Default)]
+///
+/// Equality compares every counter, so two runs with equal `Stats` sent,
+/// delivered, dropped and held exactly the same per-tag message counts —
+/// the comparison the parallel-vs-sequential determinism tests rest on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     sends: BTreeMap<&'static str, u64>,
     delivered: BTreeMap<&'static str, u64>,

@@ -8,9 +8,10 @@
 
 use gmp::causality::VectorClock;
 use gmp::protocol::cluster;
-use gmp::sim::{Sim, TraceEvent, TraceKind};
+use gmp::sim::{run_seeds, run_seeds_parallel, BatchConfig, Sim, TraceEvent, TraceKind};
 use gmp::types::ProcessId;
 use std::collections::HashMap;
+use std::num::NonZeroUsize;
 
 /// Serializes every recorded event, including its causal stamps, so two
 /// fingerprints are equal iff the traces are byte-identical.
@@ -145,6 +146,35 @@ fn cow_stamps_equal_eager_recomputation() {
         }
     }
     assert!(!send_stamps.is_empty(), "run exercised the send/recv path");
+}
+
+/// The thread pool must be invisible in sweep output: for the golden
+/// cluster scenario (the same `(n, seed, fault schedule)` family the
+/// fingerprints above pin), `run_seeds_parallel` at every job count
+/// returns the exact `RunStats` vector of the sequential runner —
+/// including per-tag message counters, trace lengths and survivors.
+/// Worker threads race for *seeds*, never for a run's events.
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential() {
+    let build = |seed: u64| {
+        let mut sim = cluster(6, seed);
+        sim.crash_at(ProcessId(5), 400);
+        sim.crash_at(ProcessId(1), 900);
+        sim
+    };
+    let config = BatchConfig::new(6_000);
+    let sequential = run_seeds(0..10, config, build);
+    assert_eq!(sequential.len(), 10);
+    for jobs in [1usize, 2, 4, 8] {
+        let parallel = run_seeds_parallel(0..10, config, NonZeroUsize::new(jobs), build);
+        assert_eq!(
+            parallel, sequential,
+            "jobs={jobs}: parallel sweep diverged from the sequential runner"
+        );
+    }
+    // And the parallel path replays identically against itself.
+    let again = run_seeds_parallel(0..10, config, NonZeroUsize::new(4), build);
+    assert_eq!(again, sequential, "parallel sweep is not replayable");
 }
 
 #[test]
