@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiment ids follow `EXPERIMENTS.md`: t1, f1, f3, f4, f11, c71,
-//! e1..e10, a1, ab1, ab2. Flags:
+//! e1..e11, a1, ab1, ab2. Flags:
 //!
 //! * `--jobs N` — worker threads for the sweep experiments (E8/E9/E10).
 //!   Default: every core the platform reports. For E10 — whose whole
@@ -363,6 +363,55 @@ fn main() {
             );
         }
         println!("(runs are independent: speedup tracks min(jobs, cores); output never moves)\n");
+    }
+
+    if want("e11") {
+        // --seeds scales the rounds driven through each arm (the CI smoke
+        // run uses 16); outcomes are pinned identical at any length.
+        let rounds = 256 * seeds_flag.unwrap_or(64);
+        let ns = [8usize, 32, 128, 512];
+        println!("== E11: arena vs map detector hot path — index-addressed peer state ==");
+        println!("({rounds} heartbeat rounds per arm; identical = same suspicions/tracking)\n");
+        println!(
+            "{:<6} {:<10} {:<12} {:<14} {:<14} {:<9} {:<9} identical",
+            "n", "rounds", "map wall", "arena (by id)", "arena (by ref)", "spd(id)", "spd(ref)"
+        );
+        let rows = e11_arena_hot_path(&ns, rounds);
+        for r in &rows {
+            println!(
+                "{:<6} {:<10} {:<12} {:<14} {:<14} {:<9} {:<9} {}",
+                r.n,
+                r.rounds,
+                format!("{:.2}ms", r.map_wall.as_secs_f64() * 1e3),
+                format!("{:.2}ms", r.arena_wall.as_secs_f64() * 1e3),
+                format!("{:.2}ms", r.arena_ref_wall.as_secs_f64() * 1e3),
+                format!("{:.2}x", r.speedup),
+                format!("{:.2}x", r.speedup_ref),
+                r.identical
+            );
+        }
+        // Machine-readable mirror for CI artifacts and EXPERIMENTS.md.
+        let mut json =
+            String::from("{\n  \"experiment\": \"e11_arena_hot_path\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"n\": {}, \"rounds\": {}, \"map_wall_s\": {:.6}, \"arena_wall_s\": {:.6}, \"arena_ref_wall_s\": {:.6}, \"speedup\": {:.3}, \"speedup_ref\": {:.3}, \"identical\": {}}}{}\n",
+                r.n,
+                r.rounds,
+                r.map_wall.as_secs_f64(),
+                r.arena_wall.as_secs_f64(),
+                r.arena_ref_wall.as_secs_f64(),
+                r.speedup,
+                r.speedup_ref,
+                r.identical,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write("BENCH_arena.json", &json) {
+            Ok(()) => println!("(wrote BENCH_arena.json)\n"),
+            Err(e) => println!("(could not write BENCH_arena.json: {e})\n"),
+        }
     }
 
     if want("a1") {

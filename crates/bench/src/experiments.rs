@@ -853,6 +853,184 @@ pub fn e10_parallel_scaling(
     rows
 }
 
+// ---------------------------------------------------------------------
+// E11 — arena vs map detector hot path: index-addressed peer state
+// ---------------------------------------------------------------------
+
+/// One row of the E11 arena-hot-path table: the same detector schedule
+/// timed on the map-backed oracle and the arena-backed implementation.
+#[derive(Clone, Debug)]
+pub struct ArenaRow {
+    /// Tracked peers (working-set size).
+    pub n: usize,
+    /// Heartbeat rounds driven through each arm.
+    pub rounds: u64,
+    /// Wall-clock of the `MapDetector` (pre-arena oracle) arm.
+    pub map_wall: Duration,
+    /// Wall-clock of the arena-backed `HeartbeatDetector` arm, addressed
+    /// by `ProcessId` (pays the roster resolve on every life sign).
+    pub arena_wall: Duration,
+    /// Wall-clock of the arena arm addressed by stored [`gmp_types::PeerRef`]s (the
+    /// owner keeps handles; every life sign is one generation-checked
+    /// array access).
+    pub arena_ref_wall: Duration,
+    /// `map_wall / arena_wall` — > 1 means the arena is faster.
+    pub speedup: f64,
+    /// `map_wall / arena_ref_wall` for the ref-addressed arm.
+    pub speedup_ref: f64,
+    /// Whether both arms produced the identical suspicion/tracking
+    /// outcome. Must always be `true` (the proptests in `gmp-props` pin
+    /// the same equivalence under adversarial schedules).
+    pub identical: bool,
+}
+
+/// Drives one synthetic steady-state schedule — every live peer heard
+/// every round, one lease scan per round, plus a slow forget-and-track
+/// churn so slot reuse is exercised — through a detector, returning an
+/// outcome checksum.
+fn arena_hot_path_schedule<D>(
+    n: usize,
+    rounds: u64,
+    mut heard: impl FnMut(&mut D, ProcessId, u64),
+    mut tick: impl FnMut(&mut D, u64) -> Vec<ProcessId>,
+    mut track: impl FnMut(&mut D, ProcessId, u64),
+    mut forget: impl FnMut(&mut D, ProcessId),
+    d: &mut D,
+) -> u64 {
+    let hb = 40u64;
+    let mut live: std::collections::VecDeque<u32> = (0..n as u32).collect();
+    let mut next_id = n as u32;
+    let mut checksum = 0u64;
+    for p in live.iter() {
+        track(d, ProcessId(*p), 0);
+    }
+    for r in 1..=rounds {
+        let now = r * hb;
+        for &p in live.iter() {
+            heard(d, ProcessId(p), now);
+        }
+        for s in tick(d, now) {
+            checksum = checksum.wrapping_mul(31).wrapping_add(u64::from(s.0) + 1);
+        }
+        // Churn one peer every 16 rounds: the oldest id is forgotten (its
+        // slot tombstones) and a fresh id takes its place (the slot is
+        // reused under a bumped generation).
+        if r % 16 == 0 {
+            if let Some(old) = live.pop_front() {
+                forget(d, ProcessId(old));
+                track(d, ProcessId(next_id), now);
+                live.push_back(next_id);
+                next_id += 1;
+            }
+        }
+    }
+    checksum.wrapping_add(next_id.into())
+}
+
+/// The same schedule as [`arena_hot_path_schedule`], but the driver holds
+/// each tracked peer's [`gmp_types::PeerRef`] and reports life signs
+/// through [`HeartbeatDetector::heard_from_ref`] — the pattern an owner
+/// that already resolves peers once per view change would use. Every life
+/// sign is a generation-checked array access; no per-beat id lookup.
+fn arena_ref_hot_path_schedule(
+    n: usize,
+    rounds: u64,
+    d: &mut gmp_detect::HeartbeatDetector,
+) -> u64 {
+    let hb = 40u64;
+    let mut live: std::collections::VecDeque<(u32, gmp_types::PeerRef)> = (0..n as u32)
+        .map(|p| {
+            d.track(ProcessId(p), 0);
+            (p, d.resolve(ProcessId(p)).expect("just tracked"))
+        })
+        .collect();
+    let mut next_id = n as u32;
+    let mut checksum = 0u64;
+    for r in 1..=rounds {
+        let now = r * hb;
+        for &(_, pr) in live.iter() {
+            d.heard_from_ref(pr, now);
+        }
+        for s in d.tick(now) {
+            checksum = checksum.wrapping_mul(31).wrapping_add(u64::from(s.0) + 1);
+        }
+        if r % 16 == 0 {
+            if let Some((old, _)) = live.pop_front() {
+                d.forget(ProcessId(old));
+                d.track(ProcessId(next_id), now);
+                let pr = d.resolve(ProcessId(next_id)).expect("just tracked");
+                live.push_back((next_id, pr));
+                next_id += 1;
+            }
+        }
+    }
+    checksum.wrapping_add(next_id.into())
+}
+
+/// Times the detector hot path (heard_from × n + lease scan per round,
+/// with slot-reuse churn) on the map-backed oracle vs the arena-backed
+/// detector, at each working-set size in `ns`.
+///
+/// `rounds` scales runtime linearly; the *outcome* of each arm is pinned
+/// identical regardless.
+///
+/// ```
+/// use gmp_bench::e11_arena_hot_path;
+///
+/// let rows = e11_arena_hot_path(&[8], 256);
+/// assert!(rows[0].identical, "arena diverged from the map oracle");
+/// ```
+pub fn e11_arena_hot_path(ns: &[usize], rounds: u64) -> Vec<ArenaRow> {
+    use gmp_detect::{HeartbeatDetector, MapDetector};
+    let suspect_after = 200u64;
+    ns.iter()
+        .map(|&n| {
+            let mut map = MapDetector::new(suspect_after);
+            let start = Instant::now();
+            let map_sum = arena_hot_path_schedule(
+                n,
+                rounds,
+                |d: &mut MapDetector, p, t| d.heard_from(p, t),
+                |d, t| d.tick(t),
+                |d, p, t| d.track(p, t),
+                |d, p| d.forget(p),
+                &mut map,
+            );
+            let map_wall = start.elapsed();
+
+            let mut arena = HeartbeatDetector::new(suspect_after);
+            let start = Instant::now();
+            let arena_sum = arena_hot_path_schedule(
+                n,
+                rounds,
+                |d: &mut HeartbeatDetector, p, t| d.heard_from(p, t),
+                |d, t| d.tick(t),
+                |d, p, t| d.track(p, t),
+                |d, p| d.forget(p),
+                &mut arena,
+            );
+            let arena_wall = start.elapsed();
+
+            let mut arena_ref = HeartbeatDetector::new(suspect_after);
+            let start = Instant::now();
+            let ref_sum = arena_ref_hot_path_schedule(n, rounds, &mut arena_ref);
+            let arena_ref_wall = start.elapsed();
+
+            ArenaRow {
+                n,
+                rounds,
+                map_wall,
+                arena_wall,
+                arena_ref_wall,
+                speedup: map_wall.as_secs_f64() / arena_wall.as_secs_f64().max(f64::EPSILON),
+                speedup_ref: map_wall.as_secs_f64()
+                    / arena_ref_wall.as_secs_f64().max(f64::EPSILON),
+                identical: map_sum == arena_sum && map_sum == ref_sum,
+            }
+        })
+        .collect()
+}
+
 /// Convenience: a standard exclusion run for the Criterion benchmarks.
 pub fn bench_exclusion_run(n: usize, seed: u64) -> Sim<Msg, Member> {
     let mut sim = cluster_with(n, seed, Config::default());
@@ -1069,6 +1247,15 @@ mod tests {
             (rows[0].speedup - 1.0).abs() < 1e-9,
             "jobs=1 is its own baseline"
         );
+    }
+
+    #[test]
+    fn e11_arms_agree_and_time() {
+        for row in e11_arena_hot_path(&[8, 32], 128) {
+            assert!(row.identical, "n={}: arena diverged from oracle", row.n);
+            assert!(row.map_wall.as_nanos() > 0 && row.arena_wall.as_nanos() > 0);
+            assert!(row.speedup > 0.0);
+        }
     }
 
     #[test]

@@ -20,8 +20,8 @@ use crate::msg::{HeartbeatDigest, Msg};
 use gmp_detect::{HeartbeatDetector, Isolation};
 use gmp_sim::{Ctx, Node, Shared};
 use gmp_types::note::{FaultySource, QuitReason};
-use gmp_types::{NextEntry, Note, Op, OpKind, ProcessId, Ver, View};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use gmp_types::{Arena, NextEntry, Note, Op, OpKind, ProcessId, Ver, View};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Timer tag: heartbeat + failure-detector tick.
 const TICK: u64 = 1;
@@ -112,8 +112,10 @@ pub struct Member {
     buffered: Vec<(ProcessId, Msg)>,
     /// Suspicions queued by tests/experiments, applied at the next tick.
     injected: Vec<ProcessId>,
-    /// Last time each suspect was reported to `Mgr` (for re-reports).
-    last_report: std::collections::BTreeMap<ProcessId, u64>,
+    /// Last time each suspect was reported to `Mgr` (for re-reports),
+    /// addressed by the detector's roster slots: a dense array access per
+    /// touch, structurally pruned when a view change tombstones the slot.
+    last_report: Arena<u64>,
     /// Sender-side state of the delta-encoded heartbeat digests (F2).
     hb: HbGossip,
     /// Observers subscribed to this member's view stream (§8).
@@ -133,11 +135,26 @@ struct HbGossip {
     /// Shared snapshot for `epoch`; `None` while the set is empty (an empty
     /// snapshot and an empty beat are indistinguishable to the receiver).
     snapshot: Option<Shared<[ProcessId]>>,
-    /// Last epoch whose snapshot each peer was sent. Pruned on view install
-    /// so it stays bounded by the view size.
-    sent: BTreeMap<ProcessId, u64>,
+    /// Per-peer digest-delivery state, addressed by the detector's roster
+    /// slots (so it dies structurally with the slot when a view change
+    /// tombstones the peer).
+    peers: Arena<HbPeer>,
     /// Snapshot materializations, for the E9 fan-out experiment.
     builds: u64,
+}
+
+/// Digest-delivery bookkeeping for one heartbeat target.
+#[derive(Clone, Copy, Debug, Default)]
+struct HbPeer {
+    /// Last epoch whose snapshot this peer is *known* to have received (the
+    /// carrying beat was sent while the peer was confirmed `Active`).
+    sent: Option<u64>,
+    /// Whether we hold evidence the peer reached `Active`: any message it
+    /// sent other than its own `JoinRequest` (joiners send those while
+    /// still `Joining`, discarding everything but `Welcome` in return).
+    /// Until then, a carrying beat might land on a `Joining` receiver and
+    /// be discarded, so the snapshot is re-carried instead of marked sent.
+    confirmed: bool,
 }
 
 /// Observer-side bookkeeping (§8 hierarchical service).
@@ -194,7 +211,7 @@ impl Member {
             role: Role::Outer,
             buffered: Vec::new(),
             injected: Vec::new(),
-            last_report: std::collections::BTreeMap::new(),
+            last_report: Arena::new(),
             hb: HbGossip::default(),
             subscribers: BTreeSet::new(),
             obs: None,
@@ -226,7 +243,7 @@ impl Member {
             role: Role::Outer,
             buffered: Vec::new(),
             injected: Vec::new(),
-            last_report: std::collections::BTreeMap::new(),
+            last_report: Arena::new(),
             hb: HbGossip::default(),
             subscribers: BTreeSet::new(),
             obs: None,
@@ -279,7 +296,7 @@ impl Member {
             role: Role::Outer,
             buffered: Vec::new(),
             injected: Vec::new(),
-            last_report: std::collections::BTreeMap::new(),
+            last_report: Arena::new(),
             hb: HbGossip::default(),
             subscribers: BTreeSet::new(),
             obs: None,
@@ -336,12 +353,17 @@ impl Member {
         self.injected.push(q);
     }
 
-    /// Suspects currently held in the GMP-5 re-report throttle map. Pruned
-    /// on every view install, so entries only ever name in-view suspects —
-    /// the map stays bounded by the view size across arbitrarily long
-    /// reconfiguration-heavy runs.
+    /// Suspects currently held in the GMP-5 re-report throttle, in
+    /// ascending id order. Entries live in an arena addressed by the
+    /// detector's roster slots, so a view install prunes them structurally:
+    /// tombstoning a slot (or recycling it for a joiner) makes the old
+    /// entry unreadable — the state stays bounded by the view size across
+    /// arbitrarily long reconfiguration-heavy runs.
     pub fn reported_suspects(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.last_report.keys().copied()
+        self.fd
+            .enrolled()
+            .filter(|&(_, r)| self.last_report.get(r).is_some())
+            .map(|(q, _)| q)
     }
 
     /// How many heartbeat-gossip payloads this member has materialized: one
@@ -374,7 +396,8 @@ impl Member {
     fn do_quit(&mut self, ctx: &mut Ctx<'_, Msg>, reason: QuitReason) {
         self.lifecycle = Lifecycle::Stopped;
         // A stopped member neither reports nor heartbeats ever again; free
-        // the per-peer maps rather than letting them outlive the membership.
+        // the per-peer arenas rather than letting them outlive the
+        // membership.
         self.last_report.clear();
         self.hb = HbGossip::default();
         ctx.note(Note::Quit { reason });
@@ -395,6 +418,17 @@ impl Member {
 
     fn faulty_vec(&self) -> Vec<ProcessId> {
         self.faulty.iter().copied().collect()
+    }
+
+    /// Records evidence that `p` has reached `Active`: from now on a
+    /// digest-carrying beat to `p` may mark its epoch delivered at send
+    /// time (lifecycle is monotone past `Active`, so no later beat can land
+    /// on a discarding `Joining` receiver). No-op for strangers (observers,
+    /// not-yet-admitted joiners) — they have no roster slot.
+    fn confirm_peer(&mut self, p: ProcessId) {
+        if let Some(r) = self.fd.resolve(p) {
+            self.hb.peers.entry(r).confirmed = true;
+        }
     }
 
     fn recovered_vec(&self) -> Vec<ProcessId> {
@@ -472,14 +506,13 @@ impl Member {
         }
         self.seq.push(op);
         self.ver += 1;
-        // Installing a view bounds the per-suspect bookkeeping: the GMP-5
-        // re-report throttle only ever needs entries for in-view suspects,
-        // so drop everything the new view excludes (not just `op.target` —
-        // a reconfiguration proposal can remove several members at once).
-        // The heartbeat-digest delivery map is bounded the same way: a peer
-        // outside the view is never a heartbeat target again.
-        self.last_report.retain(|q, _| self.view.contains(*q));
-        self.hb.sent.retain(|p, _| self.view.contains(*p));
+        // Installing a view needs no explicit pruning of the per-peer
+        // bookkeeping: `last_report` and the digest-delivery state live in
+        // arenas addressed by the detector's roster, and `fd.forget` above
+        // tombstoned the slots of everyone the new view excludes — their
+        // entries are already unreadable (and a recycled slot's generation
+        // check keeps them invisible to later joiners). The state stays
+        // bounded by the view size across arbitrarily long runs.
         ctx.note(Note::OpApplied { op, ver: self.ver });
         ctx.note(Note::ViewInstalled {
             ver: self.ver,
@@ -617,7 +650,11 @@ impl Member {
                     && !self.faulty.contains(&self.mgr)
                 {
                     ctx.send(self.mgr, Msg::FaultyReport { suspect: q });
-                    self.last_report.insert(q, ctx.now());
+                    // `q` is in view, so its roster slot is live (suspicion
+                    // keeps the slot; only removal retires it).
+                    if let Some(r) = self.fd.resolve(q) {
+                        self.last_report.set(r, ctx.now());
+                    }
                 }
                 self.maybe_initiate(ctx);
             }
@@ -1249,7 +1286,9 @@ impl Member {
             .collect();
         for q in suspects {
             ctx.send(self.mgr, Msg::FaultyReport { suspect: q });
-            self.last_report.insert(q, now);
+            if let Some(r) = self.fd.resolve(q) {
+                self.last_report.set(r, now);
+            }
         }
     }
 
@@ -1291,6 +1330,7 @@ impl Member {
     fn on_welcome(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
+        from: ProcessId,
         members: Vec<ProcessId>,
         v: Ver,
         seq: Vec<Op>,
@@ -1316,12 +1356,29 @@ impl Member {
                 self.fd.track(p, grace);
             }
         }
+        // The welcomer demonstrably executes the protocol; other view
+        // members may themselves still be joining, so they stay
+        // unconfirmed until their first message arrives here.
+        self.confirm_peer(from);
         ctx.note(Note::ViewInstalled {
             ver: self.ver,
             members: self.view.to_vec(),
             mgr: self.mgr,
         });
         ctx.set_timer(self.cfg.heartbeat_every, TICK);
+        // Replay coordinator rounds that overtook this Welcome (see the
+        // `Joining` arm of `on_message`). `dispatch` re-buffers anything
+        // still ahead of the installed view; stale entries fail the
+        // handlers' version guards.
+        let held = std::mem::take(&mut self.buffered);
+        for (sender, msg) in held {
+            if self.lifecycle != Lifecycle::Active {
+                break;
+            }
+            self.fd.heard_from(sender, ctx.now());
+            self.confirm_peer(sender);
+            self.dispatch(ctx, sender, msg);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1426,10 +1483,19 @@ impl Member {
         // later beat on that (reliable FIFO) link is a pure life sign, so
         // the gossip states receivers reach are exactly those of flooding.
         // NB: `sent` marks the epoch at *send* time, which is only sound on
-        // the model's reliable channels (§2.1). A lossy `BlockMode::Drop`
-        // link would eat the one carrying beat and the delta encoding would
-        // never retransmit it — drop-mode links are reserved for the
-        // baseline counterexample protocols, never for `Member` runs.
+        // the model's reliable channels (§2.1) *and* only for a receiver
+        // that will actually process the beat. A `Joining` receiver
+        // discards everything but `Welcome`, so a carrying beat that
+        // overlaps the join window would be eaten and never retransmitted —
+        // the joiner would miss this member's faulty set until it next
+        // changed. The epoch is therefore marked sent only once the peer is
+        // `confirmed` Active (we received some message from it other than
+        // its own `JoinRequest`; lifecycle is monotone past `Active`, so
+        // later beats can never land on a `Joining` receiver again). Until
+        // then the snapshot is re-carried on every beat — an O(1) `Arc`
+        // clone, no extra messages and no extra materializations. Lossy
+        // `BlockMode::Drop` links would break the marking the same way,
+        // and stay reserved for the baseline counterexample protocols.
         if self.cfg.gossip && !self.faulty.iter().copied().eq(self.hb.last.iter().copied()) {
             self.hb.epoch += 1;
             self.hb.last = self.faulty_vec(); // once per tick, not per target
@@ -1445,11 +1511,20 @@ impl Member {
             .iter()
             .filter(|&p| p != self.me && !self.faulty.contains(&p))
             .collect();
+        let snapshot = self.hb.snapshot.clone();
+        let epoch = self.hb.epoch;
         for p in targets {
-            let digest = match &self.hb.snapshot {
-                Some(set) if self.hb.sent.get(&p) != Some(&self.hb.epoch) => {
-                    self.hb.sent.insert(p, self.hb.epoch);
-                    HeartbeatDigest::snapshot(set.clone())
+            let digest = match (&snapshot, self.fd.resolve(p)) {
+                (Some(set), Some(r)) => {
+                    let peer = self.hb.peers.entry(r);
+                    if peer.sent == Some(epoch) {
+                        HeartbeatDigest::empty()
+                    } else {
+                        if peer.confirmed {
+                            peer.sent = Some(epoch);
+                        }
+                        HeartbeatDigest::snapshot(set.clone())
+                    }
                 }
                 _ => HeartbeatDigest::empty(),
             };
@@ -1464,8 +1539,9 @@ impl Member {
                 .iter()
                 .filter(|q| self.view.contains(**q))
                 .filter(|q| {
-                    self.last_report
-                        .get(q)
+                    self.fd
+                        .resolve(**q)
+                        .and_then(|r| self.last_report.get(r))
                         .map(|&t| now.saturating_sub(t) >= self.cfg.suspect_after)
                         .unwrap_or(true)
                 })
@@ -1473,7 +1549,9 @@ impl Member {
                 .collect();
             for q in due {
                 ctx.send(self.mgr, Msg::FaultyReport { suspect: q });
-                self.last_report.insert(q, now);
+                if let Some(r) = self.fd.resolve(q) {
+                    self.last_report.set(r, now);
+                }
             }
         }
 
@@ -1532,7 +1610,7 @@ impl Member {
                 ver,
                 seq,
                 mgr,
-            } => self.on_welcome(ctx, members, ver, seq, mgr),
+            } => self.on_welcome(ctx, from, members, ver, seq, mgr),
             Msg::Subscribe => {
                 if self.lifecycle == Lifecycle::Active {
                     self.subscribers.insert(from);
@@ -1581,6 +1659,11 @@ impl Node<Msg> for Member {
                 for p in self.view.to_vec() {
                     if p != self.me {
                         self.fd.track(p, now);
+                        // GMP-0: the initial membership is commonly known
+                        // and every initial member starts `Active`, so
+                        // digests to them may be delta-encoded from the
+                        // first beat.
+                        self.confirm_peer(p);
                     }
                 }
                 ctx.note(Note::ViewInstalled {
@@ -1607,14 +1690,27 @@ impl Node<Msg> for Member {
             return;
         }
         if self.lifecycle == Lifecycle::Joining {
-            if let Msg::Welcome {
-                members,
-                ver,
-                seq,
-                mgr,
-            } = msg
-            {
-                self.on_welcome(ctx, members, ver, seq, mgr);
+            match msg {
+                Msg::Welcome {
+                    members,
+                    ver,
+                    seq,
+                    mgr,
+                } => self.on_welcome(ctx, from, members, ver, seq, mgr),
+                // Coordinator rounds addressed to this process as an
+                // already-added member can overtake its Welcome (the add
+                // commits first, and the Welcome may need a retried join
+                // request if the original welcomer died). Invitations and
+                // interrogations are never retransmitted, so discarding
+                // them would wedge the coordinator awaiting this process's
+                // response. Hold them and replay once a Welcome installs a
+                // view; each handler's version guard discards stale ones.
+                Msg::Invite { .. }
+                | Msg::Commit { .. }
+                | Msg::Interrogate
+                | Msg::Propose { .. }
+                | Msg::ReconfCommit { .. } => self.buffered.push((from, msg)),
+                _ => {}
             }
             return;
         }
@@ -1625,6 +1721,15 @@ impl Node<Msg> for Member {
             return;
         }
         self.fd.heard_from(from, ctx.now());
+        // Any message except the sender's own `JoinRequest` is evidence the
+        // sender reached `Active` (joiners emit join requests while still
+        // `Joining`; everything else is sent by active members — observers'
+        // `Subscribe`s come from processes without a roster slot, so
+        // confirming them is a structural no-op). A *forwarded* join
+        // request (`joiner != from`) does confirm the forwarder.
+        if !matches!(&msg, Msg::JoinRequest { joiner } if *joiner == from) {
+            self.confirm_peer(from);
+        }
         self.dispatch(ctx, from, msg);
     }
 

@@ -19,10 +19,20 @@
 //! discusses) and the monotone inbound filter ([`Isolation`], S1). Gossip
 //! (F2) is a protocol concern and lives in `gmp-core`, which piggybacks
 //! faulty sets on protocol messages.
+//!
+//! The detector's per-peer hot state (leases, heap entries) lives in the
+//! index-addressed arenas of [`gmp_types::arena`]; the retired map-backed
+//! implementation survives as [`reference::MapDetector`], the behavioral
+//! oracle for the equivalence proptests in `gmp-props` and the baseline arm
+//! of the `arena_hot_path` benchmarks.
 
-use gmp_types::ProcessId;
+use gmp_types::{Arena, PeerRef, PeerRoster, ProcessId};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeSet, BinaryHeap};
+
+pub mod reference;
+
+pub use reference::MapDetector;
 
 /// Timeout-based failure observer (source F1).
 ///
@@ -40,6 +50,21 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 /// tracked peer — while suspecting in exactly the same order (ascending id)
 /// and at exactly the same instants as the scan did.
 ///
+/// # Arena-backed hot state
+///
+/// Leases are not kept in a `ProcessId`-keyed map but in a dense
+/// [`Arena`] addressed by the slots of a [`PeerRoster`] the detector owns:
+/// every lease touch is an array access, not a tree walk. The roster is the
+/// authoritative `ProcessId → PeerIdx` remap for the owning member — the
+/// protocol layer shares it (via [`resolve`](HeartbeatDetector::resolve))
+/// to address its own per-peer arenas (digest epochs, report throttles), so
+/// all hot per-peer state of one member lives in a handful of parallel
+/// arrays. Slots of excluded peers are tombstoned and recycled for later
+/// joiners under a bumped generation; heap entries carry the
+/// generation-stamped [`PeerRef`], so a stale entry whose slot has been
+/// recycled fails the generation check and can never suspect the slot's new
+/// occupant (see `gmp_types::arena` for the aliasing contract).
+///
 /// # Invariant: process instances never return
 ///
 /// The §2.1 model reuses no process identity: a crashed or excluded process
@@ -51,13 +76,22 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 #[derive(Clone, Debug)]
 pub struct HeartbeatDetector {
     suspect_after: u64,
-    last_heard: BTreeMap<ProcessId, u64>,
+    /// The `ProcessId → PeerIdx` remap; owns the dense index space that
+    /// `last_heard` (and the owning member's arenas) are addressed by.
+    roster: PeerRoster,
+    /// Current lease start (last life sign) per live peer.
+    last_heard: Arena<u64>,
+    /// Suspects stay id-keyed: suspicions can outlive roster membership
+    /// (a gossiped suspect may never have been tracked here) and S1 makes
+    /// them permanent.
     suspects: BTreeSet<ProcessId>,
-    /// Min-heap of `(lease deadline, peer)`. Never pruned eagerly; an entry
-    /// is live iff it matches the peer's current `last_heard` lease.
-    deadlines: BinaryHeap<Reverse<(u64, ProcessId)>>,
+    /// Min-heap of `(lease deadline, peer handle)`. Never pruned eagerly;
+    /// an entry is live iff its generation-stamped handle still reads the
+    /// matching lease from `last_heard`.
+    deadlines: BinaryHeap<Reverse<(u64, PeerRef)>>,
     /// Ids retired by `forget`, kept (in debug builds only) to assert that
-    /// no retired instance is ever tracked again.
+    /// no retired instance is ever tracked again — nor ever resurfaces
+    /// from a stale heap entry after its slot is recycled.
     #[cfg(debug_assertions)]
     forgotten: BTreeSet<ProcessId>,
 }
@@ -73,7 +107,8 @@ impl HeartbeatDetector {
         assert!(suspect_after > 0, "suspect_after must be positive");
         HeartbeatDetector {
             suspect_after,
-            last_heard: BTreeMap::new(),
+            roster: PeerRoster::new(),
+            last_heard: Arena::new(),
             suspects: BTreeSet::new(),
             deadlines: BinaryHeap::new(),
             #[cfg(debug_assertions)]
@@ -84,6 +119,28 @@ impl HeartbeatDetector {
     /// The configured silence threshold.
     pub fn suspect_after(&self) -> u64 {
         self.suspect_after
+    }
+
+    /// The current arena handle for `p`, or `None` if `p` is not enrolled.
+    ///
+    /// This is the shared `ProcessId → PeerIdx` remap: the owning member
+    /// resolves once per touch and addresses its own per-peer arenas
+    /// (digest epochs, GMP-5 report throttles) with the returned handle, so
+    /// every arena keyed off this detector agrees on slot assignment and
+    /// generation. Suspected peers stay resolvable until
+    /// [`forget`](HeartbeatDetector::forget) retires them with the view
+    /// change.
+    #[inline]
+    pub fn resolve(&self, p: ProcessId) -> Option<PeerRef> {
+        self.roster.resolve(p)
+    }
+
+    /// Iterator over every enrolled peer — tracked *and* suspected-but-not
+    /// -yet-forgotten — in ascending id order, with its arena handle. This
+    /// is how the owning member walks its own per-peer arenas without
+    /// keeping a parallel id index.
+    pub fn enrolled(&self) -> impl Iterator<Item = (ProcessId, PeerRef)> + '_ {
+        self.roster.iter()
     }
 
     /// The lease deadline for a life sign observed at `t`.
@@ -105,9 +162,13 @@ impl HeartbeatDetector {
             !self.forgotten.contains(&p),
             "re-tracking forgotten process {p}: instances never return"
         );
-        if !self.suspects.contains(&p) && !self.last_heard.contains_key(&p) {
-            self.last_heard.insert(p, now);
-            self.deadlines.push(Reverse((self.deadline(now), p)));
+        if self.suspects.contains(&p) {
+            return;
+        }
+        let r = self.roster.insert(p);
+        if self.last_heard.get(r).is_none() {
+            self.last_heard.set(r, now);
+            self.deadlines.push(Reverse((self.deadline(now), r)));
         }
     }
 
@@ -115,9 +176,13 @@ impl HeartbeatDetector {
     /// suspicion status is dropped as well. The id is *retired*: process
     /// instances never return in the model, so tracking it again is
     /// rejected (in debug builds) rather than silently restarting
-    /// monitoring with a fresh lease.
+    /// monitoring with a fresh lease. The roster slot is tombstoned for
+    /// recycling; any heap entries still pointing at it die on the
+    /// generation check when popped.
     pub fn forget(&mut self, p: ProcessId) {
-        self.last_heard.remove(&p);
+        if let Some(r) = self.roster.remove(p) {
+            self.last_heard.remove(r);
+        }
         self.suspects.remove(&p);
         #[cfg(debug_assertions)]
         self.forgotten.insert(p);
@@ -134,7 +199,10 @@ impl HeartbeatDetector {
         if self.suspects.contains(&p) {
             return;
         }
-        if let Some(t) = self.last_heard.get_mut(&p) {
+        let Some(r) = self.roster.resolve(p) else {
+            return;
+        };
+        if let Some(t) = self.last_heard.get_mut(r) {
             if now > *t {
                 // The lease advanced: the old heap entry goes stale and a
                 // fresh one carries the new deadline. (Stale information —
@@ -142,7 +210,25 @@ impl HeartbeatDetector {
                 // nothing.)
                 *t = now;
                 let d = now.saturating_add(self.suspect_after);
-                self.deadlines.push(Reverse((d, p)));
+                self.deadlines.push(Reverse((d, r)));
+            }
+        }
+    }
+
+    /// Ref-addressed fast path of [`heard_from`](Self::heard_from): records
+    /// a life sign for the peer behind `r` without the id→slot resolve.
+    ///
+    /// The generation-checked lease read subsumes every guard the id path
+    /// spells out: a suspected peer's lease was cleared by
+    /// [`suspect`](Self::suspect), a forgotten peer's slot is tombstoned
+    /// (or recycled under a bumped generation), and an untracked handle
+    /// never had a lease — all of them read `None` here and are ignored.
+    pub fn heard_from_ref(&mut self, r: PeerRef, now: u64) {
+        if let Some(t) = self.last_heard.get_mut(r) {
+            if now > *t {
+                *t = now;
+                let d = now.saturating_add(self.suspect_after);
+                self.deadlines.push(Reverse((d, r)));
             }
         }
     }
@@ -150,7 +236,12 @@ impl HeartbeatDetector {
     /// Marks `p` suspected regardless of timing (gossip, inference, or test
     /// injection). Returns `true` if this is a new suspicion.
     pub fn suspect(&mut self, p: ProcessId) -> bool {
-        self.last_heard.remove(&p);
+        if let Some(r) = self.roster.resolve(p) {
+            // Clear the lease so pending heap entries go stale; the slot
+            // itself stays enrolled until `forget` retires it, so the
+            // owner can keep addressing its per-peer arenas for `p`.
+            self.last_heard.remove(r);
+        }
         self.suspects.insert(p)
     }
 
@@ -165,18 +256,32 @@ impl HeartbeatDetector {
     ///
     /// Cost: O(expired · log n) heap pops (plus one peek when nothing
     /// expired) — not a scan of every tracked peer. Stale heap entries
-    /// (lease renewed, peer suspected by gossip, or forgotten) are lazily
-    /// discarded as they surface.
+    /// (lease renewed, peer suspected by gossip, forgotten, or pointing at
+    /// a recycled slot) are lazily discarded as they surface: the
+    /// generation-stamped handle reads nothing from `last_heard` once the
+    /// lease it carried is gone.
     pub fn tick(&mut self, now: u64) -> Vec<ProcessId> {
         let mut expired = Vec::new();
-        while let Some(&Reverse((deadline, p))) = self.deadlines.peek() {
+        while let Some(&Reverse((deadline, r))) = self.deadlines.peek() {
             if deadline > now {
                 break;
             }
             self.deadlines.pop();
-            // Live iff this entry carries the peer's *current* lease.
-            if self.last_heard.get(&p) == Some(&deadline.saturating_sub(self.suspect_after)) {
-                self.last_heard.remove(&p);
+            // Live iff this entry carries the peer's *current* lease. A
+            // handle whose slot was recycled fails the arena's generation
+            // check and reads `None` here — a forgotten peer's entry can
+            // never surface as a suspicion of the slot's new occupant.
+            if self.last_heard.get(r) == Some(&deadline.saturating_sub(self.suspect_after)) {
+                self.last_heard.remove(r);
+                let p = self
+                    .roster
+                    .pid_of(r)
+                    .expect("a live lease implies a live roster slot");
+                #[cfg(debug_assertions)]
+                debug_assert!(
+                    !self.forgotten.contains(&p),
+                    "forgotten {p} resurfaced from a stale heap entry"
+                );
                 self.suspects.insert(p);
                 expired.push(p);
             }
@@ -187,9 +292,13 @@ impl HeartbeatDetector {
         expired
     }
 
-    /// Iterator over currently tracked (unsuspected) peers.
+    /// Iterator over currently tracked (unsuspected) peers, in ascending
+    /// id order — the order the former `BTreeMap` iteration produced.
     pub fn tracked(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.last_heard.keys().copied()
+        self.roster
+            .iter()
+            .filter(|&(_, r)| self.last_heard.get(r).is_some())
+            .map(|(p, _)| p)
     }
 
     /// Iterator over all current suspects.
@@ -263,6 +372,24 @@ mod tests {
     }
 
     #[test]
+    fn ref_addressed_life_signs_match_the_id_path() {
+        let mut d = HeartbeatDetector::new(100);
+        d.track(P1, 0);
+        d.track(P2, 0);
+        let r1 = d.resolve(P1).unwrap();
+        d.heard_from_ref(r1, 60);
+        assert_eq!(d.tick(100), vec![P2]);
+        assert_eq!(d.tick(160), vec![P1]);
+        // A retired handle is ignored: P1's lease is gone (suspected), and
+        // a recycled slot fails the generation check.
+        d.heard_from_ref(r1, 200);
+        assert!(d.is_suspect(P1));
+        d.forget(P1);
+        d.heard_from_ref(r1, 300);
+        assert!(d.tick(1_000).is_empty());
+    }
+
+    #[test]
     fn life_signs_do_not_move_backwards() {
         let mut d = HeartbeatDetector::new(100);
         d.track(P1, 50);
@@ -288,6 +415,19 @@ mod tests {
         d.heard_from(P1, 5); // S1: ignored once suspected
         assert!(d.is_suspect(P1));
         assert!(d.tracked().next().is_none());
+    }
+
+    #[test]
+    fn suspects_stay_resolvable_until_forgotten() {
+        // The owning member keeps per-peer report state for suspects that
+        // are still in its view; the roster slot must outlive the lease.
+        let mut d = HeartbeatDetector::new(10);
+        d.track(P1, 0);
+        let r = d.resolve(P1).expect("tracked peers resolve");
+        d.suspect(P1);
+        assert_eq!(d.resolve(P1), Some(r), "suspicion keeps the slot");
+        d.forget(P1);
+        assert_eq!(d.resolve(P1), None, "forget retires the slot");
     }
 
     #[test]
@@ -328,8 +468,8 @@ mod tests {
 
     #[test]
     fn simultaneous_expiries_surface_in_ascending_id_order() {
-        // The heap orders by (deadline, id); equal deadlines must still come
-        // out ascending by id, like the map scan this replaced.
+        // The heap orders by (deadline, handle); equal deadlines must still
+        // come out ascending by id, like the map scan this replaced.
         let mut d = HeartbeatDetector::new(50);
         let ids = [7, 3, 9, 1, 5].map(ProcessId);
         for p in ids {
@@ -351,6 +491,46 @@ mod tests {
             vec![P2],
             "P1's stale deadline must not re-report it"
         );
+    }
+
+    #[test]
+    fn forgotten_entry_cannot_resurface_after_slot_reuse() {
+        // The bugfix this pins: `forget` leaves heap entries behind (lazy
+        // deletion). When the arena recycles the forgotten peer's slot for
+        // a newcomer, a stale entry sharing the *same slot and the same
+        // deadline value* as the newcomer's live lease must still die on
+        // the generation check — it must neither suspect the retired id
+        // nor the slot's new occupant ahead of its own lease.
+        let mut d = HeartbeatDetector::new(100);
+        let p9 = ProcessId(9);
+        d.track(P1, 0); // heap entry (100, slot0 gen0)
+        d.forget(P1); // tombstones slot 0, heap entry left behind
+        d.track(p9, 0); // recycles slot 0 (gen1), same deadline 100
+
+        let r1 = d.resolve(p9).expect("newcomer resolves");
+        // The stale (100, slot0 gen0) entry pops first at t=100 and must
+        // read nothing; the live (100, slot0 gen1) entry then suspects the
+        // newcomer — exactly once, at its own lease's expiry.
+        assert!(d.tick(99).is_empty());
+        assert_eq!(d.tick(100), vec![p9], "only the live lease fires");
+        assert!(!d.is_suspect(P1), "the retired id never resurfaces");
+        assert_eq!(d.resolve(p9), Some(r1), "suspicion keeps the slot");
+        assert!(d.tick(10_000).is_empty(), "nothing fires twice");
+    }
+
+    #[test]
+    fn forgotten_entry_is_discarded_even_with_a_renewed_occupant() {
+        // Variant: the newcomer renews its lease past the stale deadline,
+        // so at the stale entry's pop time *no* lease matches — the slot
+        // must stay silent until the renewed lease itself expires.
+        let mut d = HeartbeatDetector::new(100);
+        let p9 = ProcessId(9);
+        d.track(P1, 0);
+        d.forget(P1);
+        d.track(p9, 0);
+        d.heard_from(p9, 50); // live deadline moves to 150
+        assert!(d.tick(100).is_empty(), "stale gen-0 and gen-1 entries die");
+        assert_eq!(d.tick(150), vec![p9]);
     }
 
     #[test]

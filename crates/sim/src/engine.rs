@@ -96,7 +96,7 @@ impl Builder {
             msg_counter: 0,
             timer_counter: 0,
             cancelled: HashSet::new(),
-            crash_after: HashMap::new(),
+            crash_after: Vec::new(),
             trace: Trace::default(),
             stats: Stats::default(),
             started: false,
@@ -201,6 +201,15 @@ enum Trigger<M> {
     },
 }
 
+/// A scheduled mid-broadcast crash (Figure 3): the process may perform
+/// `remaining` more sends (optionally only those matching `tag`) and is
+/// then crashed immediately after the final matching send.
+#[derive(Clone, Copy)]
+struct SendCrash {
+    tag: Option<&'static str>,
+    remaining: u32,
+}
+
 /// The deterministic simulator. See the crate docs for an example.
 pub struct Sim<M: Message, N: Node<M>> {
     slots: Vec<Slot<N>>,
@@ -214,8 +223,10 @@ pub struct Sim<M: Message, N: Node<M>> {
     msg_counter: u64,
     timer_counter: u64,
     cancelled: HashSet<u64>,
-    /// pid -> (optional tag filter, sends remaining before crash)
-    crash_after: HashMap<u32, (Option<&'static str>, u32)>,
+    /// Pending mid-broadcast crash per process, indexed by pid (the slot
+    /// table is dense, so this follows the same index-addressed scheme as
+    /// the protocol's peer arenas).
+    crash_after: Vec<Option<SendCrash>>,
     trace: Trace,
     stats: Stats,
     started: bool,
@@ -513,7 +524,10 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
                 if remaining == 0 {
                     self.crash_at(pid, self.time);
                 } else {
-                    self.crash_after.insert(pid.0, (tag, remaining));
+                    if self.crash_after.len() <= pid.index() {
+                        self.crash_after.resize(pid.index() + 1, None);
+                    }
+                    self.crash_after[pid.index()] = Some(SendCrash { tag, remaining });
                 }
             }
         }
@@ -521,7 +535,11 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
 
     /// Reschedules held messages for every link that is no longer blocked.
     fn release_unblocked(&mut self) {
-        let links: Vec<(u32, u32)> = self.held.keys().copied().collect();
+        // Released messages draw fresh per-message delays from the run's
+        // RNG, so the links must be visited in a deterministic order — map
+        // iteration order must never reach the RNG stream.
+        let mut links: Vec<(u32, u32)> = self.held.keys().copied().collect();
+        links.sort_unstable();
         for (f, t) in links {
             if self.net.fate(ProcessId(f), ProcessId(t)).is_none() {
                 let msgs = self.held.remove(&(f, t)).unwrap_or_default();
@@ -677,12 +695,12 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
                         }
                     }
                     // Mid-broadcast crash bookkeeping (Figure 3).
-                    if let Some((filter, remaining)) = self.crash_after.get_mut(&pid.0) {
-                        let counts = filter.map(|f| f == tag).unwrap_or(true);
+                    if let Some(sc) = self.crash_after.get_mut(idx).and_then(Option::as_mut) {
+                        let counts = sc.tag.map(|f| f == tag).unwrap_or(true);
                         if counts {
-                            *remaining -= 1;
-                            if *remaining == 0 {
-                                self.crash_after.remove(&pid.0);
+                            sc.remaining -= 1;
+                            if sc.remaining == 0 {
+                                self.crash_after[idx] = None;
                                 self.record_lifecycle(pid, TraceKind::Crash);
                                 self.slots[idx].status = NodeStatus::Crashed;
                             }
@@ -975,6 +993,27 @@ mod release_tests {
     struct Burst {
         got: Vec<u32>,
     }
+
+    /// Like [`Burst`], but every node sprays every other node, so several
+    /// links hold traffic at once.
+    struct Fan {
+        got: Vec<u32>,
+    }
+    impl Node<Num> for Fan {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Num>) {
+            for to in 0..4u32 {
+                if ProcessId(to) != ctx.id() {
+                    for i in 0..8 {
+                        ctx.send(ProcessId(to), Num(i));
+                    }
+                }
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Num>, _: ProcessId, m: Num) {
+            self.got.push(m.0);
+        }
+        fn on_timer(&mut self, _: &mut Ctx<'_, Num>, _: u64) {}
+    }
     impl Node<Num> for Burst {
         fn on_start(&mut self, ctx: &mut Ctx<'_, Num>) {
             if ctx.id() == ProcessId(0) {
@@ -1004,6 +1043,42 @@ mod release_tests {
         sim.unblock_link_at(ProcessId(0), ProcessId(1), 2_000);
         sim.run_until(10_000);
         assert_eq!(sim.node(ProcessId(1)).got, (0..30).collect::<Vec<_>>());
+    }
+
+    /// A heal that releases several links at once must replay identically:
+    /// the per-message redelivery delays are drawn from the run's RNG, so
+    /// the release order (and with it the whole downstream schedule) has to
+    /// be a pure function of the seed, not of map iteration order.
+    #[test]
+    fn multi_link_release_replays_identically() {
+        let run = || {
+            let mut sim = Builder::new().seed(9).delay(1, 30).build();
+            for _ in 0..4 {
+                sim.add_node(Fan { got: Vec::new() });
+            }
+            for to in 1..4u32 {
+                sim.block_link_at(ProcessId(0), ProcessId(to), BlockMode::Hold, 0);
+            }
+            for from in 1..4u32 {
+                sim.block_link_at(ProcessId(from), ProcessId(0), BlockMode::Hold, 0);
+            }
+            for a in 0..4u32 {
+                for b in 0..4u32 {
+                    if a != b {
+                        sim.unblock_link_at(ProcessId(a), ProcessId(b), 2_000);
+                    }
+                }
+            }
+            sim.run_until(10_000);
+            sim.trace()
+                .events
+                .iter()
+                .map(|e| format!("{} {} {:?}", e.time, e.pid, e.kind))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert!(a.iter().any(|l| l.contains("Recv")), "nothing was released");
+        assert_eq!(a, run(), "multi-link release diverged between replays");
     }
 
     /// A block installed mid-flight catches messages already scheduled.

@@ -1,0 +1,463 @@
+//! Index-addressed per-peer state: dense slot arenas behind a
+//! generation-stamped roster.
+//!
+//! The protocol keeps several pieces of *hot* per-peer bookkeeping —
+//! heartbeat leases, digest-epoch marks, GMP-5 report throttles — that are
+//! touched on every tick and every message receipt. Keying them by
+//! [`ProcessId`] in ordered maps costs a tree walk per
+//! touch and scatters each peer's state across the heap. This module
+//! flattens that state into dense arrays:
+//!
+//! * a [`PeerRoster`] resolves a `ProcessId` to a dense [`PeerIdx`] once
+//!   (per message, or per view install), reusing tombstoned slots of
+//!   excluded members for newcomers;
+//! * any number of [`Arena`]s — one per kind of per-peer state — are then
+//!   addressed by that index in O(1), no hashing and no tree walk.
+//!
+//! # Generations make slot reuse safe
+//!
+//! Because an excluded member's slot is recycled for the next joiner, a
+//! bare index could smuggle the dead peer's state into the newcomer's
+//! lap — precisely the "stale lease resurfaces as a suspicion" hazard.
+//! Every slot therefore carries a [`Gen`]eration that is bumped on reuse,
+//! and every handed-out handle is a [`PeerRef`] embedding the generation
+//! it was resolved under. An [`Arena`] access checks the generation, so a
+//! handle can only ever touch state written under its *own* occupant:
+//! the newcomer never inherits the dead peer's leftovers, and a retired
+//! handle can never shadow the newcomer's state. Cross-occupant aliasing
+//! is unrepresentable rather than merely unlikely.
+//!
+//! # Example
+//!
+//! ```
+//! use gmp_types::{Arena, PeerRoster, ProcessId};
+//!
+//! let mut roster = PeerRoster::new();
+//! let mut leases: Arena<u64> = Arena::new();
+//!
+//! let p1 = roster.insert(ProcessId(1));
+//! leases.set(p1, 400);
+//! assert_eq!(leases.get(p1), Some(&400));
+//!
+//! // Exclude p1; a joiner reuses the slot under a fresh generation.
+//! roster.remove(ProcessId(1));
+//! let p9 = roster.insert(ProcessId(9));
+//! assert_eq!(p9.idx(), p1.idx(), "slot is recycled");
+//!
+//! // The dead peer's lease cannot leak into the newcomer's state,
+//! // and once the newcomer writes, the retired handle sees nothing.
+//! assert_eq!(leases.get(p9), None, "fresh occupant starts empty");
+//! leases.set(p9, 900);
+//! assert_eq!(leases.get(p1), None, "retired handle never aliases");
+//! ```
+
+use crate::ProcessId;
+
+/// Dense index of a peer's slot in a [`PeerRoster`] (and in every [`Arena`]
+/// that shares its index space).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerIdx(u32);
+
+impl PeerIdx {
+    /// The raw array offset.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Generation of a roster slot, bumped each time the slot is recycled for a
+/// new occupant. See the [module docs](self) for why this exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gen(u32);
+
+/// A generation-stamped handle to a peer's slot: the pair (slot, occupant).
+///
+/// A `PeerRef` resolved while some peer occupied a slot never aliases the
+/// slot's later occupants — arena accesses through it fail closed once the
+/// roster recycles the slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerRef {
+    idx: PeerIdx,
+    gen: Gen,
+}
+
+impl PeerRef {
+    /// The dense slot index.
+    #[inline]
+    pub fn idx(self) -> PeerIdx {
+        self.idx
+    }
+
+    /// The generation this handle was resolved under.
+    #[inline]
+    pub fn gen(self) -> Gen {
+        self.gen
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RosterSlot {
+    pid: ProcessId,
+    gen: Gen,
+    live: bool,
+}
+
+/// The `ProcessId → PeerIdx` remap: assigns each tracked peer a dense slot,
+/// tombstones slots of removed peers, and recycles tombstones (bumping the
+/// generation) for later insertions.
+///
+/// Lookup by id is a direct array index (`by_pid[pid]`), not a search;
+/// iteration yields live peers in ascending-`ProcessId` order so callers
+/// that expose sorted views (detector `tracked()`, GMP-5 report sets) stay
+/// byte-identical to their former `BTreeMap`-backed selves.
+#[derive(Clone, Debug, Default)]
+pub struct PeerRoster {
+    /// `pid.index() → slot`, grown on demand. Dense in practice: ids are
+    /// small (initial members plus joiners), never `u32::MAX` (the
+    /// pre-start sentinel).
+    by_pid: Vec<Option<PeerIdx>>,
+    slots: Vec<RosterSlot>,
+    free: Vec<PeerIdx>,
+}
+
+impl PeerRoster {
+    /// An empty roster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (non-tombstoned) peers.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// True when no peer is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slots ever allocated (live + tombstoned) — the index space an
+    /// [`Arena`] sharing this roster must cover.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Registers `pid`, returning its handle. Idempotent for an already-live
+    /// peer; a tombstoned slot is recycled under a bumped generation.
+    pub fn insert(&mut self, pid: ProcessId) -> PeerRef {
+        debug_assert_ne!(pid.0, u32::MAX, "the pre-start sentinel has no slot");
+        if let Some(r) = self.resolve(pid) {
+            return r;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx.index()];
+                slot.pid = pid;
+                slot.gen = Gen(slot.gen.0 + 1);
+                slot.live = true;
+                idx
+            }
+            None => {
+                let idx = PeerIdx(self.slots.len() as u32);
+                self.slots.push(RosterSlot {
+                    pid,
+                    gen: Gen(0),
+                    live: true,
+                });
+                idx
+            }
+        };
+        if self.by_pid.len() <= pid.index() {
+            self.by_pid.resize(pid.index() + 1, None);
+        }
+        self.by_pid[pid.index()] = Some(idx);
+        PeerRef {
+            idx,
+            gen: self.slots[idx.index()].gen,
+        }
+    }
+
+    /// Tombstones `pid`'s slot for recycling. Returns the retired handle,
+    /// or `None` if `pid` was not live.
+    pub fn remove(&mut self, pid: ProcessId) -> Option<PeerRef> {
+        let r = self.resolve(pid)?;
+        self.slots[r.idx.index()].live = false;
+        self.by_pid[pid.index()] = None;
+        self.free.push(r.idx);
+        Some(r)
+    }
+
+    /// The current handle for `pid`, or `None` if it is not live.
+    #[inline]
+    pub fn resolve(&self, pid: ProcessId) -> Option<PeerRef> {
+        let idx = (*self.by_pid.get(pid.index())?)?;
+        let slot = &self.slots[idx.index()];
+        debug_assert!(slot.live && slot.pid == pid);
+        Some(PeerRef { idx, gen: slot.gen })
+    }
+
+    /// True when `pid` is live.
+    #[inline]
+    pub fn contains(&self, pid: ProcessId) -> bool {
+        self.resolve(pid).is_some()
+    }
+
+    /// The id occupying `r`'s slot — `None` if the slot has been recycled
+    /// or tombstoned since `r` was resolved.
+    pub fn pid_of(&self, r: PeerRef) -> Option<ProcessId> {
+        let slot = self.slots.get(r.idx.index())?;
+        (slot.live && slot.gen == r.gen).then_some(slot.pid)
+    }
+
+    /// Live peers in ascending-`ProcessId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, PeerRef)> + '_ {
+        self.by_pid.iter().enumerate().filter_map(|(pid, idx)| {
+            let idx = (*idx)?;
+            let slot = &self.slots[idx.index()];
+            debug_assert!(slot.live && slot.pid.index() == pid);
+            Some((slot.pid, PeerRef { idx, gen: slot.gen }))
+        })
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PeerSlotInner<T> {
+    gen: Gen,
+    value: T,
+}
+
+/// One occupied arena slot: the stored value stamped with the occupant
+/// generation it belongs to.
+#[derive(Clone, Debug)]
+pub struct PeerSlot<T> {
+    inner: PeerSlotInner<T>,
+}
+
+impl<T> PeerSlot<T> {
+    /// The stored value.
+    pub fn value(&self) -> &T {
+        &self.inner.value
+    }
+
+    /// The generation the value was written under.
+    pub fn gen(&self) -> Gen {
+        self.inner.gen
+    }
+}
+
+/// Dense per-peer storage addressed by [`PeerRef`]s from a shared
+/// [`PeerRoster`].
+///
+/// Reads and writes are O(1) array accesses guarded by a generation check:
+/// a handle that predates the slot's current occupant reads `None` and its
+/// writes can never shadow the occupant's state. See the
+/// [module docs](self) for the full contract and an example.
+#[derive(Clone, Debug, Default)]
+pub struct Arena<T> {
+    slots: Vec<Option<PeerSlotInner<T>>>,
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena { slots: Vec::new() }
+    }
+
+    /// The value stored for `r`'s occupant, if any.
+    #[inline]
+    pub fn get(&self, r: PeerRef) -> Option<&T> {
+        match self.slots.get(r.idx.index()) {
+            Some(Some(s)) if s.gen == r.gen => Some(&s.value),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value stored for `r`'s occupant, if any.
+    #[inline]
+    pub fn get_mut(&mut self, r: PeerRef) -> Option<&mut T> {
+        match self.slots.get_mut(r.idx.index()) {
+            Some(Some(s)) if s.gen == r.gen => Some(&mut s.value),
+            _ => None,
+        }
+    }
+
+    /// Stores `value` for `r`'s occupant, replacing whatever the slot held
+    /// (the previous occupant's leftovers included).
+    pub fn set(&mut self, r: PeerRef, value: T) {
+        if self.slots.len() <= r.idx.index() {
+            self.slots.resize_with(r.idx.index() + 1, || None);
+        }
+        let slot = &mut self.slots[r.idx.index()];
+        debug_assert!(
+            slot.as_ref().is_none_or(|s| s.gen <= r.gen),
+            "write through a stale PeerRef would shadow a newer occupant"
+        );
+        *slot = Some(PeerSlotInner { gen: r.gen, value });
+    }
+
+    /// Mutable access for `r`'s occupant, inserting `T::default()` first if
+    /// the slot is empty or holds a previous occupant's value.
+    pub fn entry(&mut self, r: PeerRef) -> &mut T
+    where
+        T: Default,
+    {
+        let fresh = match self.slots.get(r.idx.index()) {
+            Some(Some(s)) => s.gen != r.gen,
+            _ => true,
+        };
+        if fresh {
+            self.set(r, T::default());
+        }
+        &mut self.slots[r.idx.index()]
+            .as_mut()
+            .expect("just written")
+            .value
+    }
+
+    /// Removes and returns the value stored for `r`'s occupant, if any.
+    pub fn remove(&mut self, r: PeerRef) -> Option<T> {
+        let slot = self.slots.get_mut(r.idx.index())?;
+        if slot.as_ref().is_some_and(|s| s.gen == r.gen) {
+            slot.take().map(|s| s.value)
+        } else {
+            None
+        }
+    }
+
+    /// Drops every stored value.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_returns_the_inserted_handle() {
+        let mut roster = PeerRoster::new();
+        let r = roster.insert(ProcessId(3));
+        assert_eq!(roster.resolve(ProcessId(3)), Some(r));
+        assert!(roster.contains(ProcessId(3)));
+        assert_eq!(roster.pid_of(r), Some(ProcessId(3)));
+        assert_eq!(roster.len(), 1);
+    }
+
+    #[test]
+    fn insert_is_idempotent_for_a_live_peer() {
+        let mut roster = PeerRoster::new();
+        let a = roster.insert(ProcessId(5));
+        let b = roster.insert(ProcessId(5));
+        assert_eq!(a, b);
+        assert_eq!(roster.len(), 1);
+    }
+
+    #[test]
+    fn remove_tombstones_and_insert_recycles_with_a_new_generation() {
+        let mut roster = PeerRoster::new();
+        let p1 = roster.insert(ProcessId(1));
+        let p2 = roster.insert(ProcessId(2));
+        assert_eq!(roster.remove(ProcessId(1)), Some(p1));
+        assert!(!roster.contains(ProcessId(1)));
+        assert_eq!(roster.len(), 1);
+
+        let p9 = roster.insert(ProcessId(9));
+        assert_eq!(p9.idx(), p1.idx(), "tombstoned slot is reused");
+        assert_ne!(p9.gen(), p1.gen(), "reuse bumps the generation");
+        assert_eq!(roster.pid_of(p1), None, "stale handle resolves nothing");
+        assert_eq!(roster.pid_of(p9), Some(ProcessId(9)));
+        assert_eq!(roster.capacity(), 2);
+        let _ = p2;
+    }
+
+    #[test]
+    fn removing_an_unknown_peer_is_a_noop() {
+        let mut roster = PeerRoster::new();
+        roster.insert(ProcessId(1));
+        assert_eq!(roster.remove(ProcessId(7)), None);
+        assert_eq!(roster.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_ascending_by_process_id() {
+        let mut roster = PeerRoster::new();
+        for pid in [9u32, 2, 5, 0] {
+            roster.insert(ProcessId(pid));
+        }
+        roster.remove(ProcessId(5));
+        let pids: Vec<u32> = roster.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(pids, vec![0, 2, 9]);
+    }
+
+    #[test]
+    fn arena_reads_are_generation_checked() {
+        let mut roster = PeerRoster::new();
+        let mut arena: Arena<u64> = Arena::new();
+        let p1 = roster.insert(ProcessId(1));
+        arena.set(p1, 10);
+        assert_eq!(arena.get(p1), Some(&10));
+
+        roster.remove(ProcessId(1));
+        let p9 = roster.insert(ProcessId(9));
+        assert_eq!(arena.get(p9), None, "new occupant sees no leftovers");
+
+        arena.set(p9, 20);
+        assert_eq!(arena.get(p9), Some(&20));
+        assert_eq!(arena.get(p1), None, "retired handle never aliases");
+    }
+
+    #[test]
+    fn entry_resets_a_previous_occupants_value() {
+        let mut roster = PeerRoster::new();
+        let mut arena: Arena<u64> = Arena::new();
+        let p1 = roster.insert(ProcessId(1));
+        *arena.entry(p1) = 99;
+        roster.remove(ProcessId(1));
+        let p9 = roster.insert(ProcessId(9));
+        assert_eq!(*arena.entry(p9), 0, "entry defaults, never inherits");
+        *arena.entry(p9) += 1;
+        assert_eq!(arena.get(p9), Some(&1));
+    }
+
+    #[test]
+    fn remove_only_takes_the_matching_generation() {
+        let mut roster = PeerRoster::new();
+        let mut arena: Arena<u64> = Arena::new();
+        let p1 = roster.insert(ProcessId(1));
+        arena.set(p1, 7);
+        roster.remove(ProcessId(1));
+        let p9 = roster.insert(ProcessId(9));
+        arena.set(p9, 8);
+        assert_eq!(arena.remove(p1), None, "stale remove cannot evict");
+        assert_eq!(arena.remove(p9), Some(8));
+        assert_eq!(arena.remove(p9), None);
+    }
+
+    #[test]
+    fn get_mut_and_clear() {
+        let mut roster = PeerRoster::new();
+        let mut arena: Arena<u64> = Arena::new();
+        let p = roster.insert(ProcessId(2));
+        arena.set(p, 1);
+        *arena.get_mut(p).unwrap() += 5;
+        assert_eq!(arena.get(p), Some(&6));
+        arena.clear();
+        assert_eq!(arena.get(p), None);
+    }
+
+    #[test]
+    fn peer_slot_accessors() {
+        let mut roster = PeerRoster::new();
+        let p = roster.insert(ProcessId(1));
+        let slot = PeerSlot {
+            inner: PeerSlotInner {
+                gen: p.gen(),
+                value: 42u64,
+            },
+        };
+        assert_eq!(*slot.value(), 42);
+        assert_eq!(slot.gen(), p.gen());
+    }
+}

@@ -20,10 +20,12 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod note;
 pub mod view;
 
-pub use note::Note;
+pub use arena::{Arena, Gen, PeerIdx, PeerRef, PeerRoster, PeerSlot};
+pub use note::{FaultySource, Note};
 pub use view::View;
 
 use std::fmt;

@@ -194,3 +194,31 @@ fn determinism_survives_mid_run_inspection() {
     }
     assert_eq!(fingerprint(&sim.trace().events), uninterrupted);
 }
+
+/// A join-bearing companion to the goldens above. The crash-only goldens
+/// cannot exercise the `Joining` receiver path, so this scenario — one
+/// §7 join racing one exclusion — pins the digest re-carry decision
+/// (snapshots are marked delivered only to peers confirmed `Active`) and
+/// the joining-side buffering of coordinator rounds. Recorded on the
+/// engine that closed the joining-receiver digest gap (PR 5); the three
+/// crash-only goldens above were re-verified byte-identical on the same
+/// engine, proving the fix touches only runs with joiners in flight.
+#[test]
+fn join_bearing_traces_match_the_digest_gap_fix_goldens() {
+    use gmp::protocol::{ClusterBuilder, Config, JoinConfig};
+    let golden: [(u64, usize, u64); 2] = [
+        (3, 14049, 0x57ce_8337_edd4_bb4f),
+        (21, 14051, 0xe388_d53c_14f8_fb08),
+    ];
+    for (seed, events, hash) in golden {
+        let mut sim = ClusterBuilder::new(5, Config::default())
+            .joiner(JoinConfig::new(500, vec![ProcessId(1)]))
+            .sim(gmp::sim::Builder::new().seed(seed))
+            .build();
+        sim.crash_at(ProcessId(4), 1_400);
+        sim.run_until(12_000);
+        let fp = fingerprint(&sim.trace().events);
+        assert_eq!(fp.len(), events, "seed={seed}: event count drifted");
+        assert_eq!(fnv1a(&fp), hash, "seed={seed}: stamped trace drifted");
+    }
+}

@@ -164,3 +164,106 @@ fn view_version_grows_monotonically_per_process() {
         }
     }
 }
+
+/// Regression for the joining-receiver digest gap (the headline bugfix of
+/// the arena PR).
+///
+/// Heartbeat digests are delta-encoded: a carrier marks the faulty-set
+/// snapshot as delivered to a peer the moment the carrying beat is *sent*.
+/// A peer that is still `Joining` silently discards heartbeats, so a beat
+/// sent during its pre-welcome window was marked delivered yet never
+/// arrived — and since the marker is per-epoch, nothing ever re-carried
+/// the snapshot. The joiner stayed ignorant of the faulty set until some
+/// *later* epoch change (or coordinator traffic) happened to mention it,
+/// which in a quiescent group is never.
+///
+/// The scenario pins the gap without any crash so no exclusion traffic can
+/// leak the verdict to the joiner through another channel:
+///
+/// * the joiner asks at 500 and is added (~525), but the mgr's `Welcome`
+///   is dropped, so the joiner stays `Joining` until its retry at 660 is
+///   re-welcomed by the contact (~670);
+/// * the three carriers p1..p3 get an injected suspicion of p4 at 545;
+///   their faulty-reports to the mgr are held by blocked links, so the
+///   suspicion never resolves into an exclusion — digests are the *only*
+///   channel that can tell the joiner;
+/// * the carrying beats at ticks 560..640 all land on the `Joining`
+///   joiner and are discarded. Before the fix, those sends marked the
+///   epoch delivered and the joiner never learned of p4 at all. With the
+///   fix, carriers re-carry the snapshot until the peer is confirmed
+///   `Active`, so the first post-welcome beat delivers it.
+#[test]
+fn joiner_welcomed_mid_suspicion_learns_the_faulty_set_by_digest() {
+    use gmp::sim::{BlockMode, TraceKind};
+    use gmp::types::{FaultySource, Note};
+
+    let cfg = Config::default();
+    for seed in 0..20u64 {
+        let mut b = ClusterBuilder::new(5, cfg.clone());
+        b = b.joiner(JoinConfig::new(500, vec![ProcessId(1)]).retry_every(160));
+        let mut sim = b.sim(Builder::new().seed(seed)).build();
+        let joiner = ProcessId(5);
+        // Lose the mgr's Welcome (and the commit that follows it): the
+        // joiner is in everyone's view but stays Joining until its retry.
+        sim.block_link_at(ProcessId(0), joiner, BlockMode::Drop, 0);
+        // Hold the carriers' reports so the mgr never starts an exclusion
+        // that would hand the joiner the faulty set by Invite/Commit.
+        for carrier in [1u32, 2, 3] {
+            sim.block_link_at(ProcessId(carrier), ProcessId(0), BlockMode::Hold, 540);
+        }
+        sim.run_until(545);
+        for carrier in [1u32, 2, 3] {
+            sim.node_mut(ProcessId(carrier))
+                .inject_suspicion(ProcessId(4));
+        }
+        // Stop before any secondary suspicion (mgr vs the held links at
+        // ~760, p4 vs the carriers isolating it at ~860) can muddy the
+        // trace: within this horizon digests are the only faulty channel.
+        sim.run_until(740);
+
+        assert!(
+            matches!(sim.node(joiner).lifecycle(), Lifecycle::Active),
+            "seed {seed}: joiner must reach Active via the retried welcome"
+        );
+        let evs: Vec<_> = sim
+            .trace()
+            .events
+            .iter()
+            .filter(|e| e.pid == joiner)
+            .collect();
+        let welcome = evs
+            .iter()
+            .find_map(|e| match &e.kind {
+                TraceKind::Note(Note::ViewInstalled { .. }) => Some(e.time),
+                _ => None,
+            })
+            .expect("joiner installs a view");
+        let first = evs
+            .iter()
+            .position(|e| matches!(&e.kind, TraceKind::Note(Note::Faulty { .. })))
+            .unwrap_or_else(|| {
+                panic!("seed {seed}: joiner never learned the faulty set — digest gap")
+            });
+        let TraceKind::Note(Note::Faulty { suspect, source }) = &evs[first].kind else {
+            unreachable!()
+        };
+        assert_eq!(*suspect, ProcessId(4), "seed {seed}");
+        assert_eq!(*source, FaultySource::Gossip, "seed {seed}");
+        let carrier_tag = evs[..first].iter().rev().find_map(|e| match &e.kind {
+            TraceKind::Recv { tag, .. } => Some(*tag),
+            _ => None,
+        });
+        assert_eq!(
+            carrier_tag,
+            Some("heartbeat"),
+            "seed {seed}: the verdict must arrive by digest, not coordinator traffic"
+        );
+        assert!(
+            evs[first].time <= welcome + 2 * cfg.heartbeat_every,
+            "seed {seed}: learned at {} but welcomed at {welcome} — re-carry \
+             must deliver within the first beats",
+            evs[first].time
+        );
+        check_safety(sim.trace()).assert_ok();
+    }
+}
