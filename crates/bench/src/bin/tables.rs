@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiment ids follow `EXPERIMENTS.md`: t1, f1, f3, f4, f11, c71,
-//! e1..e11, a1, ab1, ab2. Flags:
+//! e1..e12, a1, ab1, ab2. Flags:
 //!
 //! * `--jobs N` — worker threads for the sweep experiments (E8/E9/E10).
 //!   Default: every core the platform reports. For E10 — whose whole
@@ -18,7 +18,11 @@
 //!   `e10` is requested by name, 32 in the bare "everything" run so the
 //!   no-argument quickstart stays minutes, not hours). Output *values*
 //!   are per-seed deterministic either way; fewer seeds just samples
-//!   fewer schedules.
+//!   fewer schedules. E11 and E12 reuse the flag as a length dial:
+//!   rounds per arm for E11, heartbeat intervals per run for E12.
+//! * `--shards N` — shrinks E12's swept shard ladder to `{1, N}` (the
+//!   CI smoke run uses `--seeds 8 --shards 2`); without it the ladder
+//!   is `{1, 2, 4, 8}`. Output is pinned identical at every value.
 
 use gmp_bench::*;
 use gmp_props::{analyze, check_safety};
@@ -29,19 +33,20 @@ fn main() {
     let mut args: Vec<String> = Vec::new();
     let mut jobs_flag: Option<usize> = None;
     let mut seeds_flag: Option<u64> = None;
+    let mut shards_flag: Option<usize> = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--jobs" | "--seeds" => {
+            "--jobs" | "--seeds" | "--shards" => {
                 let v: u64 = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .filter(|&v| v >= 1)
                     .unwrap_or_else(|| panic!("{a} needs a numeric value >= 1"));
-                if a == "--jobs" {
-                    jobs_flag = Some(v as usize);
-                } else {
-                    seeds_flag = Some(v);
+                match a.as_str() {
+                    "--jobs" => jobs_flag = Some(v as usize),
+                    "--shards" => shards_flag = Some(v as usize),
+                    _ => seeds_flag = Some(v),
                 }
             }
             _ => args.push(a),
@@ -411,6 +416,87 @@ fn main() {
         match std::fs::write("BENCH_arena.json", &json) {
             Ok(()) => println!("(wrote BENCH_arena.json)\n"),
             Err(e) => println!("(could not write BENCH_arena.json: {e})\n"),
+        }
+    }
+
+    if want("e12") {
+        // Full scale (n up to 1024, shard ladder {1, 2, 4, 8}) only when
+        // e12 is asked for by name; the bare "everything" invocation gets
+        // a single-size slice so the quickstart stays minutes-sized.
+        let explicit = args.iter().any(|a| a == "e12");
+        // --seeds doubles as the length dial: heartbeat intervals per run.
+        // Big-n rows self-cap to fit the host's memory (the settled trace
+        // costs a measured ~14 GiB per interval at n = 1024, and a row
+        // peaks at ~2.5x one run), so the dial is a maximum; rows shed
+        // ladder rungs before they are skipped.
+        let intervals = seeds_flag.unwrap_or(8);
+        let ns: &[usize] = if explicit { &[256, 512, 1024] } else { &[256] };
+        // E12 compares shard counts, so --shards shrinks the swept ladder
+        // ({1, N}) rather than pinning a single value.
+        let ladder: Vec<usize> = match shards_flag {
+            Some(1) => vec![1],
+            Some(s) => vec![1, s],
+            None => vec![1, 2, 4, 8],
+        };
+        println!("== E12: intra-run sharding — wall-clock vs shard count at large n ==");
+        println!(
+            "(one exclusion, up to {intervals} heartbeat intervals — big-n rows cap their span to fit memory; cores available: {}; identical = output equals the sequential engine)\n",
+            gmp_sim::pool::available_jobs()
+        );
+        println!(
+            "{:<6} {:<8} {:<10} {:<10} {:<12} {:<12} {:<9} identical",
+            "n", "shards", "intervals", "events", "seq wall", "wall", "speedup"
+        );
+        let rows = e12_shard_scaling(ns, &ladder, intervals, seed);
+        for r in &rows {
+            println!(
+                "{:<6} {:<8} {:<10} {:<10} {:<12} {:<12} {:<9} {}",
+                r.n,
+                r.shards,
+                r.intervals,
+                r.events,
+                format!("{:.2}s", r.seq_wall.as_secs_f64()),
+                format!("{:.2}s", r.wall.as_secs_f64()),
+                format!("{:.2}x", r.speedup),
+                r.identical
+            );
+        }
+        for &n in ns {
+            let have: Vec<usize> = rows.iter().filter(|r| r.n == n).map(|r| r.shards).collect();
+            if have.is_empty() {
+                println!("(n={n} skipped: even the shortest exclusion-covering trace exceeds this host's memory)");
+            } else if have.len() < ladder.len() {
+                println!("(n={n}: shard ladder capped to {have:?} to fit this host's memory)");
+            }
+        }
+        println!("(speedup tracks min(shards, cores) on multicore hosts; output never moves)");
+        // Hard gate, not just a printed column: the CI smoke run leans on
+        // this step failing if any sharded digest leaves the sequential
+        // reference.
+        assert!(
+            rows.iter().all(|r| r.identical),
+            "a sharded run diverged from the sequential engine"
+        );
+        // Machine-readable mirror for CI artifacts and EXPERIMENTS.md.
+        let mut json = String::from("{\n  \"experiment\": \"e12_shard_scaling\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"n\": {}, \"shards\": {}, \"intervals\": {}, \"events\": {}, \"seq_wall_s\": {:.6}, \"wall_s\": {:.6}, \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+                r.n,
+                r.shards,
+                r.intervals,
+                r.events,
+                r.seq_wall.as_secs_f64(),
+                r.wall.as_secs_f64(),
+                r.speedup,
+                r.identical,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write("BENCH_shard.json", &json) {
+            Ok(()) => println!("(wrote BENCH_shard.json)\n"),
+            Err(e) => println!("(could not write BENCH_shard.json: {e})\n"),
         }
     }
 

@@ -1031,6 +1031,270 @@ pub fn e11_arena_hot_path(ns: &[usize], rounds: u64) -> Vec<ArenaRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// E12 — intra-run sharding: wall-clock vs shard count at large n, with
+// per-row output equality against the sequential engine
+// ---------------------------------------------------------------------
+
+/// One row of the E12 shard-scaling table: the same large-`n` run timed
+/// through [`Sim::run_until_sharded`] at one shard count.
+#[derive(Clone, Debug)]
+pub struct ShardRow {
+    /// Group size.
+    pub n: usize,
+    /// Shard count used for this row.
+    pub shards: usize,
+    /// Heartbeat intervals this row's run actually spanned — the requested
+    /// dial, possibly shortened by the memory cap (see
+    /// [`e12_shard_scaling`]).
+    pub intervals: u64,
+    /// Events the run recorded (identical across rows by construction).
+    pub events: usize,
+    /// Wall-clock of the sequential (`run_until`) reference run.
+    pub seq_wall: Duration,
+    /// Wall-clock of this row's sharded run.
+    pub wall: Duration,
+    /// `seq_wall / wall` — > 1 means sharding beat the sequential engine.
+    /// On a single-core host every row degenerates to ≲ 1× (the shard
+    /// workers serialize), but `identical` still proves shard count is
+    /// protocol-invisible.
+    pub speedup: f64,
+    /// Whether this row's digest (trace, statistics, survivors) equals the
+    /// sequential run's. Must always be `true`: sharding trades wall-clock
+    /// time, never output.
+    pub identical: bool,
+}
+
+/// The per-row scenario E12 times: one exclusion at large `n` under
+/// coarsened detector timing, so heartbeat fan-out (Θ(n²) per interval)
+/// dominates the event loop the way a large-scale deployment would. The
+/// arc is deliberately the tightest the detector allows, because every
+/// heartbeat round costs ~14 GiB of settled trace at n = 1024 (see
+/// [`e12_event_bytes`]): the victim crashes at t = 10, *before its first
+/// heartbeat*, so the initial t = 0 lease is never renewed, the 150-tick
+/// timeout expires it at the survivors' t = 200 tick, and the commit
+/// lands by ~250 — the whole crash → suspicion → commit arc fits in
+/// three rounds. Survivors renew each other at ~101–103 (100 between
+/// beats plus the 1–3-tick delivery jitter), comfortably inside the
+/// 150-tick timeout, so no spurious suspicion is possible.
+fn shard_sweep_run(n: usize, seed: u64) -> Sim<Msg, Member> {
+    let mut sim = cluster_with(n, seed, Config::default().timing(100, 150));
+    sim.crash_at(ProcessId(n as u32 - 1), 10);
+    sim
+}
+
+/// Best-effort available-memory probe: Linux `MemAvailable`, with a
+/// conservative 8 GiB default elsewhere. Only the *length* of E12's
+/// big-`n` rows depends on this — per-row values stay deterministic in
+/// `(n, seed, intervals, shards)`.
+fn mem_available_bytes() -> u64 {
+    if let Ok(meminfo) = std::fs::read_to_string("/proc/meminfo") {
+        for line in meminfo.lines() {
+            if let Some(rest) = line.strip_prefix("MemAvailable:") {
+                if let Some(kb) = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                {
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    8 << 30
+}
+
+/// Settled trace memory one recorded event costs at group size `n`, in
+/// bytes: the materialized Θ(n) vector stamp (every event ticks its
+/// clock, so copy-on-write cannot share across events) plus event
+/// struct, tag and `Arc` overhead. Measured, not derived: a sequential
+/// n = 1024, 3-interval run holds 43 GiB for 5.24 M events once the loop
+/// finishes — 8.6 KiB per event, within 6% of `8n + 512`.
+///
+/// Settled is not peak. The same run transiently peaks at ~2.1× its
+/// settled size while the event loop is live, and a sharded rerun of the
+/// identical scenario reuses *none* of the sequential run's freed memory
+/// (shard workers allocate from their own per-thread malloc arenas, and
+/// glibc free lists never migrate between arenas), so E12's governor in
+/// [`e12_shard_scaling`] charges each row a multiple of the run size
+/// rather than the run size itself. Five OOM kills calibrated this.
+fn e12_event_bytes(n: usize) -> u64 {
+    8 * n as u64 + 512
+}
+
+/// Order-sensitive FNV-1a digest of everything a run makes observable:
+/// every trace event's time, process, Lamport stamp and kind (including
+/// message ids, tags and peers), plus the statistics counters and the
+/// surviving set.
+///
+/// The vector stamp is deliberately *not* folded in: it is Θ(n) per event
+/// (a 1024-entry clock at E12's top size), so digesting it would dominate
+/// the very wall-clock the experiment measures. Stamp equality is pinned
+/// separately — at golden granularity and event-for-event — by
+/// `tests/sharding.rs` and `tests/determinism.rs`; the Lamport chain
+/// folded here already fails on any reordering those suites would catch.
+fn run_digest(sim: &Sim<Msg, Member>) -> (u64, usize, Stats, Vec<ProcessId>) {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let fold = |h: &mut u64, x: u64| {
+        *h ^= x;
+        *h = h.wrapping_mul(PRIME);
+    };
+    let fold_str = |h: &mut u64, s: &str| {
+        for &b in s.as_bytes() {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(PRIME);
+        }
+        *h = h.wrapping_mul(PRIME);
+    };
+    for e in &sim.trace().events {
+        fold(&mut h, e.time);
+        fold(&mut h, u64::from(e.pid.0));
+        fold(&mut h, e.lamport);
+        match &e.kind {
+            TraceKind::Start => fold(&mut h, 1),
+            TraceKind::Send { to, msg_id, tag } => {
+                fold(&mut h, 2);
+                fold(&mut h, u64::from(to.0));
+                fold(&mut h, *msg_id);
+                fold_str(&mut h, tag);
+            }
+            TraceKind::Recv { from, msg_id, tag } => {
+                fold(&mut h, 3);
+                fold(&mut h, u64::from(from.0));
+                fold(&mut h, *msg_id);
+                fold_str(&mut h, tag);
+            }
+            TraceKind::Timer { tag } => {
+                fold(&mut h, 4);
+                fold(&mut h, *tag);
+            }
+            TraceKind::Crash => fold(&mut h, 5),
+            TraceKind::Quit => fold(&mut h, 6),
+            TraceKind::Note(note) => {
+                fold(&mut h, 7);
+                fold_str(&mut h, &format!("{note:?}"));
+            }
+        }
+    }
+    (
+        h,
+        sim.trace().events.len(),
+        sim.stats().clone(),
+        sim.living(),
+    )
+}
+
+/// Times one large-`n` exclusion run through the intra-run sharded engine
+/// at each shard count in `shards_list`, pinning output equality against
+/// a sequential (`run_until`) reference run of the identical scenario as
+/// it goes.
+///
+/// The run spans `intervals` heartbeat intervals — the CI smoke run uses
+/// 8 (`tables e12 --seeds 8 --shards 2`); outputs are pinned identical at
+/// any length. A row's wall-clock covers only the event loop; the digest
+/// comparison happens outside the timed section.
+///
+/// Big-`n` rows cap their own *cost*, in two steps, against ~90% of the
+/// host's available memory and the measured model in `e12_event_bytes`
+/// (a 3-interval n = 1024 run settles at 43 GiB of trace, and a whole
+/// row peaks at ~2.5× one run plus ~0.3× per shard-ladder rung beyond
+/// the second): first the span is clamped, then — if even the shortest
+/// exclusion-covering span (3 intervals) does not fit — the top ladder
+/// rungs are dropped, and only an `n` that cannot fit a single-rung
+/// 3-interval row is skipped entirely (no row) rather than run
+/// truncated. The actual span is reported per row in
+/// [`ShardRow::intervals`]; a capped ladder is visible as missing rows.
+/// Sizes are swept largest-first regardless of the order in `ns` (see
+/// the comment in the body: freed trace memory is only reusable by
+/// *smaller* later runs), so rows come out in descending `n`.
+///
+/// ```
+/// use gmp_bench::e12_shard_scaling;
+///
+/// let rows = e12_shard_scaling(&[8], &[1, 2], 8, 0);
+/// assert_eq!(rows.len(), 2);
+/// assert!(rows.iter().all(|r| r.identical), "shards must not change output");
+/// assert_eq!((rows[0].shards, rows[1].shards), (1, 2));
+/// ```
+pub fn e12_shard_scaling(
+    ns: &[usize],
+    shards_list: &[usize],
+    intervals: u64,
+    seed: u64,
+) -> Vec<ShardRow> {
+    // Sweep the sizes largest-first. Dropping a run hands its trace (tens
+    // of GiB of sub-mmap-threshold stamp chunks at n = 1024) back to the
+    // allocator's free lists, not to the OS; a *smaller* later run reuses
+    // those chunks (splitting a free block always works), while a larger
+    // later run cannot (fragmented small chunks never merge back into the
+    // bigger stamp size it needs) and would pile its peak on top of the
+    // retained memory. Ascending order is exactly how a full sweep
+    // OOM-killed itself while each individual row fit the host.
+    let mut ns: Vec<usize> = ns.to_vec();
+    ns.sort_unstable_by(|a, b| b.cmp(a));
+    let ns = &ns[..];
+    // The victim's never-renewed t = 0 lease expires its 150-tick timeout
+    // at the survivors' t = 200 detector tick and the commit lands by
+    // ~250, so the whole crash → suspicion → commit arc needs 3 heartbeat
+    // intervals; anything shorter would time an exclusion-free run.
+    const MIN_INTERVALS: u64 = 3;
+    let budget = mem_available_bytes() / 10 * 9;
+    let mut rows = Vec::new();
+    for &n in ns {
+        // Memory governor, calibrated at n = 1024 on a 131 GiB host (see
+        // e12_event_bytes): a run's settled trace is (2·intervals − 1)·n²
+        // events (the last round's sends are never delivered inside the
+        // horizon); the whole row peaks at ~2.4× one run — the sequential
+        // reference's retained trace plus a sharded run's transient, none
+        // of it shared across thread arenas — plus ~0.3× per ladder rung
+        // beyond the second (extra workers bring extra arenas). Charge
+        // 2.5× + 0.3×/rung; shorten the run, then the ladder, and skip
+        // the size only when even a 3-interval single-rung row cannot fit.
+        let half_round = (n as u64 * n as u64) * e12_event_bytes(n);
+        let mut ladder: Vec<usize> = shards_list.iter().map(|&s| s.max(1)).collect();
+        ladder.sort_unstable();
+        ladder.dedup();
+        let plan = loop {
+            let mult_tenths = 25 + 3 * ladder.len().saturating_sub(2) as u64;
+            let max_intervals = (budget * 10 / mult_tenths / half_round.max(1)).div_ceil(2);
+            if max_intervals >= MIN_INTERVALS {
+                break Some(intervals.max(MIN_INTERVALS).min(max_intervals));
+            }
+            ladder.pop();
+            if ladder.is_empty() {
+                break None;
+            }
+        };
+        let Some(intervals) = plan else { continue };
+        let horizon = intervals * 100;
+        let (seq_wall, reference) = {
+            let mut sim = shard_sweep_run(n, seed);
+            let start = Instant::now();
+            sim.run_until(horizon);
+            (start.elapsed(), run_digest(&sim))
+        };
+        for &shards in &ladder {
+            let mut sim = shard_sweep_run(n, seed);
+            let start = Instant::now();
+            sim.run_until_sharded(horizon, shards);
+            let wall = start.elapsed();
+            let digest = run_digest(&sim);
+            rows.push(ShardRow {
+                n,
+                shards,
+                intervals,
+                events: digest.1,
+                seq_wall,
+                wall,
+                speedup: seq_wall.as_secs_f64() / wall.as_secs_f64().max(f64::EPSILON),
+                identical: digest == reference,
+            });
+        }
+    }
+    rows
+}
+
 /// Convenience: a standard exclusion run for the Criterion benchmarks.
 pub fn bench_exclusion_run(n: usize, seed: u64) -> Sim<Msg, Member> {
     let mut sim = cluster_with(n, seed, Config::default());
@@ -1256,6 +1520,42 @@ mod tests {
             assert!(row.map_wall.as_nanos() > 0 && row.arena_wall.as_nanos() > 0);
             assert!(row.speedup > 0.0);
         }
+    }
+
+    #[test]
+    fn e12_pins_output_equality_while_it_times() {
+        let rows = e12_shard_scaling(&[8, 16], &[1, 2, 4], 8, 0);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(
+                r.identical,
+                "n={} shards={}: sharded output diverged from the sequential engine",
+                r.n, r.shards
+            );
+            assert!(r.events > 0 && r.wall.as_nanos() > 0 && r.speedup > 0.0);
+        }
+        // Sizes sweep largest-first (freed trace memory only reuses
+        // downward), so the n = 16 rows come before the n = 8 rows.
+        assert!(rows[..3].iter().all(|r| r.n == 16));
+        assert!(rows[3..].iter().all(|r| r.n == 8));
+        // Every row of one n records the same event count (same run).
+        assert!(rows[..3].iter().all(|r| r.events == rows[0].events));
+        assert!(rows[3..].iter().all(|r| r.events == rows[3].events));
+    }
+
+    #[test]
+    fn e12_minimum_span_still_covers_the_exclusion() {
+        // MIN_INTERVALS = 3 is a promise: even the shortest row the memory
+        // cap can impose (horizon 300, three heartbeat intervals) contains
+        // the whole crash → suspicion → commit arc, so E12 never times an
+        // exclusion-free run on a capped host.
+        let mut sim = shard_sweep_run(16, 0);
+        sim.run_until(300);
+        assert_eq!(
+            sim.node(ProcessId(0)).ver(),
+            1,
+            "the exclusion must commit within three heartbeat intervals"
+        );
     }
 
     #[test]

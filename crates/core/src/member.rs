@@ -20,7 +20,7 @@ use crate::msg::{HeartbeatDigest, Msg};
 use gmp_detect::{HeartbeatDetector, Isolation};
 use gmp_sim::{Ctx, Node, Shared};
 use gmp_types::note::{FaultySource, QuitReason};
-use gmp_types::{Arena, NextEntry, Note, Op, OpKind, ProcessId, Ver, View};
+use gmp_types::{Arena, NextEntry, Note, Op, OpKind, PeerRef, ProcessId, Ver, View};
 use std::collections::{BTreeSet, VecDeque};
 
 /// Timer tag: heartbeat + failure-detector tick.
@@ -139,6 +139,14 @@ struct HbGossip {
     /// slots (so it dies structurally with the slot when a view change
     /// tombstones the peer).
     peers: Arena<HbPeer>,
+    /// `pid.index() → current detector handle`, maintained at
+    /// [`Member::track_peer`]/[`Member::forget_peer`] time. The per-message
+    /// hot path ([`HeartbeatDetector::heard_from_ref`] plus the digest
+    /// `confirmed` mark) then runs on generation-checked array accesses
+    /// with no id→slot resolve per beat. Kept exactly in sync with the
+    /// detector's roster: a tombstoned slot's handle is dropped here the
+    /// moment `forget` retires it.
+    refs: Vec<Option<PeerRef>>,
     /// Snapshot materializations, for the E9 fan-out experiment.
     builds: u64,
 }
@@ -426,9 +434,46 @@ impl Member {
     /// on a discarding `Joining` receiver). No-op for strangers (observers,
     /// not-yet-admitted joiners) — they have no roster slot.
     fn confirm_peer(&mut self, p: ProcessId) {
-        if let Some(r) = self.fd.resolve(p) {
+        if let Some(r) = self.peer_ref(p) {
             self.hb.peers.entry(r).confirmed = true;
         }
+    }
+
+    /// Starts monitoring `p` and caches its detector handle alongside the
+    /// digest roster, so every later life sign from `p` is ref-addressed.
+    /// Mirrors the detector exactly: a refused track (already-suspected
+    /// pid) caches `None`, just as `resolve` would return.
+    fn track_peer(&mut self, p: ProcessId, lease: u64) {
+        self.fd.track(p, lease);
+        let r = self.fd.resolve(p);
+        if self.hb.refs.len() <= p.index() {
+            self.hb.refs.resize(p.index() + 1, None);
+        }
+        self.hb.refs[p.index()] = r;
+    }
+
+    /// Stops monitoring `p`, dropping the cached handle with the roster
+    /// slot (the retired handle would fail the generation check anyway —
+    /// clearing it keeps the cache an exact mirror of the roster).
+    fn forget_peer(&mut self, p: ProcessId) {
+        self.fd.forget(p);
+        if let Some(slot) = self.hb.refs.get_mut(p.index()) {
+            *slot = None;
+        }
+    }
+
+    /// The cached detector handle for `p` — the ref-addressed equivalent
+    /// of `fd.resolve(p)`, without the per-call roster lookup. The debug
+    /// assertion pins the cache-mirrors-roster invariant on every touch.
+    #[inline]
+    fn peer_ref(&self, p: ProcessId) -> Option<PeerRef> {
+        let cached = self.hb.refs.get(p.index()).copied().flatten();
+        debug_assert_eq!(
+            cached,
+            self.fd.resolve(p),
+            "cached detector handle for {p} diverged from the roster"
+        );
+        cached
     }
 
     fn recovered_vec(&self) -> Vec<ProcessId> {
@@ -492,14 +537,14 @@ impl Member {
                 self.mark_faulty_quiet(ctx, op.target, FaultySource::Gossip);
                 self.view.remove(op.target);
                 self.faulty.remove(&op.target);
-                self.fd.forget(op.target);
+                self.forget_peer(op.target);
             }
             OpKind::Add => {
                 if op.target == self.me || !self.view.push_junior(op.target) {
                     // Redundant add; still advances the version to stay in
                     // lockstep with the rest of the group.
                 } else {
-                    self.fd.track(op.target, ctx.now());
+                    self.track_peer(op.target, ctx.now());
                 }
                 self.recovered.retain(|&j| j != op.target);
             }
@@ -508,7 +553,7 @@ impl Member {
         self.ver += 1;
         // Installing a view needs no explicit pruning of the per-peer
         // bookkeeping: `last_report` and the digest-delivery state live in
-        // arenas addressed by the detector's roster, and `fd.forget` above
+        // arenas addressed by the detector's roster, and `forget_peer` above
         // tombstoned the slots of everyone the new view excludes — their
         // entries are already unreadable (and a recycled slot's generation
         // check keeps them invisible to later joiners). The state stays
@@ -652,7 +697,7 @@ impl Member {
                     ctx.send(self.mgr, Msg::FaultyReport { suspect: q });
                     // `q` is in view, so its roster slot is live (suspicion
                     // keeps the slot; only removal retires it).
-                    if let Some(r) = self.fd.resolve(q) {
+                    if let Some(r) = self.peer_ref(q) {
                         self.last_report.set(r, ctx.now());
                     }
                 }
@@ -1286,7 +1331,7 @@ impl Member {
             .collect();
         for q in suspects {
             ctx.send(self.mgr, Msg::FaultyReport { suspect: q });
-            if let Some(r) = self.fd.resolve(q) {
+            if let Some(r) = self.peer_ref(q) {
                 self.last_report.set(r, now);
             }
         }
@@ -1353,7 +1398,7 @@ impl Member {
         let grace = ctx.now() + 2 * self.cfg.suspect_after;
         for p in self.view.to_vec() {
             if p != self.me {
-                self.fd.track(p, grace);
+                self.track_peer(p, grace);
             }
         }
         // The welcomer demonstrably executes the protocol; other view
@@ -1375,7 +1420,9 @@ impl Member {
             if self.lifecycle != Lifecycle::Active {
                 break;
             }
-            self.fd.heard_from(sender, ctx.now());
+            if let Some(r) = self.peer_ref(sender) {
+                self.fd.heard_from_ref(r, ctx.now());
+            }
             self.confirm_peer(sender);
             self.dispatch(ctx, sender, msg);
         }
@@ -1514,7 +1561,7 @@ impl Member {
         let snapshot = self.hb.snapshot.clone();
         let epoch = self.hb.epoch;
         for p in targets {
-            let digest = match (&snapshot, self.fd.resolve(p)) {
+            let digest = match (&snapshot, self.peer_ref(p)) {
                 (Some(set), Some(r)) => {
                     let peer = self.hb.peers.entry(r);
                     if peer.sent == Some(epoch) {
@@ -1539,8 +1586,7 @@ impl Member {
                 .iter()
                 .filter(|q| self.view.contains(**q))
                 .filter(|q| {
-                    self.fd
-                        .resolve(**q)
+                    self.peer_ref(**q)
                         .and_then(|r| self.last_report.get(r))
                         .map(|&t| now.saturating_sub(t) >= self.cfg.suspect_after)
                         .unwrap_or(true)
@@ -1549,7 +1595,7 @@ impl Member {
                 .collect();
             for q in due {
                 ctx.send(self.mgr, Msg::FaultyReport { suspect: q });
-                if let Some(r) = self.fd.resolve(q) {
+                if let Some(r) = self.peer_ref(q) {
                     self.last_report.set(r, now);
                 }
             }
@@ -1658,7 +1704,7 @@ impl Node<Msg> for Member {
                 let now = ctx.now();
                 for p in self.view.to_vec() {
                     if p != self.me {
-                        self.fd.track(p, now);
+                        self.track_peer(p, now);
                         // GMP-0: the initial membership is commonly known
                         // and every initial member starts `Active`, so
                         // digests to them may be delta-encoded from the
@@ -1720,7 +1766,14 @@ impl Node<Msg> for Member {
             }
             return;
         }
-        self.fd.heard_from(from, ctx.now());
+        // Ref-addressed life sign: the handle cached at track time replaces
+        // the id→slot resolve on every received message. The
+        // generation-checked lease read subsumes the id path's guards — a
+        // suspected peer's lease was cleared, a forgotten peer's handle was
+        // dropped with its slot, and a stranger has no handle at all.
+        if let Some(r) = self.peer_ref(from) {
+            self.fd.heard_from_ref(r, ctx.now());
+        }
         // Any message except the sender's own `JoinRequest` is evidence the
         // sender reached `Active` (joiners emit join requests while still
         // `Joining`; everything else is sent by active members — observers'

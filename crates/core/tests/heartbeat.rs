@@ -1,10 +1,12 @@
-//! Heartbeat-tick regression tests: suspicion ordering within a tick and
-//! the boundedness of the per-suspect bookkeeping maps.
+//! Heartbeat-tick regression tests: suspicion ordering within a tick, the
+//! boundedness of the per-suspect bookkeeping maps, and the equivalence of
+//! the handle-addressed lease path with a plain id-addressed detector.
 
-use gmp_core::cluster;
+use gmp_core::{cluster, cluster_with, Config};
+use gmp_detect::HeartbeatDetector;
 use gmp_sim::TraceKind;
 use gmp_types::note::FaultySource;
-use gmp_types::{Note, ProcessId};
+use gmp_types::{Note, OpKind, ProcessId};
 
 /// Regression for the tick-ordering bug: `on_tick` used to broadcast
 /// heartbeats *before* draining injected suspicions and running the
@@ -101,4 +103,90 @@ fn report_throttle_only_holds_in_view_suspects() {
         );
     }
     assert_eq!(sim.node(ProcessId(0)).ver(), 3, "three exclusions commit");
+}
+
+/// The member now drives its failure detector through cached
+/// generation-stamped handles (`heard_from_ref` on a `PeerRef` resolved
+/// once at `track` time) instead of re-resolving the process id on every
+/// life sign. This test pins the claim that the handle path is *only* a
+/// representation change: it replays one member's exact trace schedule —
+/// start, receptions, tick timers, suspicions, exclusions — through a
+/// plain id-addressed [`HeartbeatDetector`] oracle and demands the oracle
+/// produce the identical observation-sourced suspicions at the identical
+/// instants.
+#[test]
+fn handle_addressed_leases_equal_the_id_addressed_detector() {
+    // Gossip off: every survivor must *observe* each crash via its own
+    // lease timeout, so the comparison below is never vacuous.
+    let cfg = Config::default().without_gossip();
+    let n = 6;
+    let observer = ProcessId(0);
+    let mut sim = cluster_with(n, 97, cfg.clone());
+    sim.crash_at(ProcessId(5), 400);
+    sim.crash_at(ProcessId(3), 1_600);
+    sim.run_until(12_000);
+
+    // The id-addressed oracle, driven by the observer's schedule. The
+    // member's own detector runs the same algorithm through cached
+    // `PeerRef` handles; `heard_from`'s suspects/roster guards subsume the
+    // member-side isolation check, so a raw replay of every `Recv` is
+    // faithful.
+    const TICK: u64 = 1; // Member's heartbeat timer tag.
+    let mut oracle = HeartbeatDetector::new(cfg.suspect_after);
+    let mut oracle_suspicions: Vec<(u64, ProcessId)> = Vec::new();
+    for e in sim.trace().events.iter().filter(|e| e.pid == observer) {
+        match &e.kind {
+            TraceKind::Start => {
+                for q in (0..n as u32).map(ProcessId).filter(|&q| q != observer) {
+                    oracle.track(q, e.time);
+                }
+            }
+            TraceKind::Recv { from, .. } => oracle.heard_from(*from, e.time),
+            TraceKind::Timer { tag: TICK } => {
+                let expired = oracle.tick(e.time);
+                oracle_suspicions.extend(expired.into_iter().map(|q| (e.time, q)));
+            }
+            TraceKind::Note(Note::Faulty { suspect, .. }) => {
+                // Idempotent for observation-sourced suspicions (tick
+                // already recorded them); required for any other source.
+                oracle.suspect(*suspect);
+            }
+            TraceKind::Note(Note::OpApplied { op, .. }) => match op.kind {
+                OpKind::Remove => oracle.forget(op.target),
+                OpKind::Add => oracle.track(op.target, e.time),
+            },
+            _ => {}
+        }
+    }
+
+    let member_suspicions: Vec<(u64, ProcessId)> = sim
+        .trace()
+        .notes()
+        .filter(|(e, n)| {
+            e.pid == observer
+                && matches!(
+                    n,
+                    Note::Faulty {
+                        source: FaultySource::Observation,
+                        ..
+                    }
+                )
+        })
+        .map(|(e, n)| match n {
+            Note::Faulty { suspect, .. } => (e.time, *suspect),
+            _ => unreachable!(),
+        })
+        .collect();
+
+    assert_eq!(
+        member_suspicions.len(),
+        2,
+        "the observer must detect both crashes by its own timeout"
+    );
+    assert_eq!(
+        oracle_suspicions, member_suspicions,
+        "handle-addressed lease path diverged from the id-addressed oracle"
+    );
+    // And both exclusions committed, so the replay covered `forget` too.
+    assert_eq!(sim.node(observer).ver(), 2, "both exclusions commit");
 }

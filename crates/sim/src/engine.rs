@@ -104,28 +104,28 @@ impl Builder {
     }
 }
 
-struct Slot<N> {
-    node: Option<N>,
-    status: NodeStatus,
+pub(crate) struct Slot<N> {
+    pub(crate) node: Option<N>,
+    pub(crate) status: NodeStatus,
     /// Copy-on-write working clock: stamping an event is an O(1) snapshot,
     /// and the vector is deep-copied only on the first advance after a
     /// snapshot (see `gmp_causality::CowClock`).
-    vc: CowClock,
-    lamport: LamportClock,
+    pub(crate) vc: CowClock,
+    pub(crate) lamport: LamportClock,
 }
 
 #[derive(Clone, Debug)]
-struct InFlight<M> {
-    from: ProcessId,
-    to: ProcessId,
-    msg: M,
-    msg_id: u64,
-    tag: &'static str,
-    send_vc: Stamp,
-    send_lamport: u64,
+pub(crate) struct InFlight<M> {
+    pub(crate) from: ProcessId,
+    pub(crate) to: ProcessId,
+    pub(crate) msg: M,
+    pub(crate) msg_id: u64,
+    pub(crate) tag: &'static str,
+    pub(crate) send_vc: Stamp,
+    pub(crate) send_lamport: u64,
 }
 
-enum QKind<M> {
+pub(crate) enum QKind<M> {
     Deliver(InFlight<M>),
     Timer {
         pid: ProcessId,
@@ -139,7 +139,7 @@ enum QKind<M> {
 }
 
 #[derive(Clone, Debug)]
-enum Control {
+pub(crate) enum Control {
     Partition(Vec<usize>),
     Heal,
     Block {
@@ -163,10 +163,10 @@ enum Control {
     },
 }
 
-struct Queued<M> {
-    time: Time,
-    seq: u64,
-    kind: QKind<M>,
+pub(crate) struct Queued<M> {
+    pub(crate) time: Time,
+    pub(crate) seq: u64,
+    pub(crate) kind: QKind<M>,
 }
 
 impl<M> PartialEq for Queued<M> {
@@ -205,31 +205,31 @@ enum Trigger<M> {
 /// `remaining` more sends (optionally only those matching `tag`) and is
 /// then crashed immediately after the final matching send.
 #[derive(Clone, Copy)]
-struct SendCrash {
-    tag: Option<&'static str>,
-    remaining: u32,
+pub(crate) struct SendCrash {
+    pub(crate) tag: Option<&'static str>,
+    pub(crate) remaining: u32,
 }
 
 /// The deterministic simulator. See the crate docs for an example.
 pub struct Sim<M: Message, N: Node<M>> {
-    slots: Vec<Slot<N>>,
-    queue: BinaryHeap<Reverse<Queued<M>>>,
+    pub(crate) slots: Vec<Slot<N>>,
+    pub(crate) queue: BinaryHeap<Reverse<Queued<M>>>,
     /// Held messages per directed link, in send order.
-    held: HashMap<(u32, u32), Vec<InFlight<M>>>,
-    net: NetState,
-    rng: SmallRng,
-    time: Time,
-    seq: u64,
-    msg_counter: u64,
-    timer_counter: u64,
-    cancelled: HashSet<u64>,
+    pub(crate) held: HashMap<(u32, u32), Vec<InFlight<M>>>,
+    pub(crate) net: NetState,
+    pub(crate) rng: SmallRng,
+    pub(crate) time: Time,
+    pub(crate) seq: u64,
+    pub(crate) msg_counter: u64,
+    pub(crate) timer_counter: u64,
+    pub(crate) cancelled: HashSet<u64>,
     /// Pending mid-broadcast crash per process, indexed by pid (the slot
     /// table is dense, so this follows the same index-addressed scheme as
     /// the protocol's peer arenas).
-    crash_after: Vec<Option<SendCrash>>,
-    trace: Trace,
-    stats: Stats,
-    started: bool,
+    pub(crate) crash_after: Vec<Option<SendCrash>>,
+    pub(crate) trace: Trace,
+    pub(crate) stats: Stats,
+    pub(crate) started: bool,
 }
 
 impl<M: Message, N: Node<M>> Sim<M, N> {
@@ -304,12 +304,12 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
             .expect("node is present outside dispatch")
     }
 
-    fn next_seq(&mut self) -> u64 {
+    pub(crate) fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
     }
 
-    fn enqueue(&mut self, time: Time, kind: QKind<M>) {
+    pub(crate) fn enqueue(&mut self, time: Time, kind: QKind<M>) {
         let seq = self.next_seq();
         self.queue.push(Reverse(Queued { time, seq, kind }));
     }
@@ -503,7 +503,7 @@ impl<M: Message, N: Node<M>> Sim<M, N> {
         );
     }
 
-    fn apply_control(&mut self, c: Control) {
+    pub(crate) fn apply_control(&mut self, c: Control) {
         match c {
             Control::Partition(groups) => self.net.set_partition(Some(groups)),
             Control::Heal => {

@@ -154,7 +154,13 @@ impl PeerRoster {
             Some(idx) => {
                 let slot = &mut self.slots[idx.index()];
                 slot.pid = pid;
-                slot.gen = Gen(slot.gen.0 + 1);
+                // Wrapping: a slot recycled `u32::MAX + 1` times returns to
+                // generation 0. Staleness checks are exact equality (plus a
+                // modular ordering in `Arena::set`), so wraparound only
+                // matters to a handle held across 2^32 recycles of one slot
+                // — out of contract by a factor of billions (recycles are
+                // bounded by view changes).
+                slot.gen = Gen(slot.gen.0.wrapping_add(1));
                 slot.live = true;
                 idx
             }
@@ -208,6 +214,14 @@ impl PeerRoster {
     pub fn pid_of(&self, r: PeerRef) -> Option<ProcessId> {
         let slot = self.slots.get(r.idx.index())?;
         (slot.live && slot.gen == r.gen).then_some(slot.pid)
+    }
+
+    /// Test-only: pins a live slot's generation, so wraparound tests reach
+    /// the `u32::MAX` boundary without four billion recycles.
+    #[cfg(test)]
+    fn force_gen(&mut self, pid: ProcessId, gen: Gen) {
+        let idx = self.by_pid[pid.index()].expect("force_gen targets a live peer");
+        self.slots[idx.index()].gen = gen;
     }
 
     /// Live peers in ascending-`ProcessId` order.
@@ -289,8 +303,12 @@ impl<T> Arena<T> {
             self.slots.resize_with(r.idx.index() + 1, || None);
         }
         let slot = &mut self.slots[r.idx.index()];
+        // Modular (serial-number) ordering, so the guard survives generation
+        // wraparound: `r` counts as current-or-newer iff it is at most 2^31
+        // recycles ahead of what the slot holds.
         debug_assert!(
-            slot.as_ref().is_none_or(|s| s.gen <= r.gen),
+            slot.as_ref()
+                .is_none_or(|s| (r.gen.0.wrapping_sub(s.gen.0) as i32) >= 0),
             "write through a stale PeerRef would shadow a newer occupant"
         );
         *slot = Some(PeerSlotInner { gen: r.gen, value });
@@ -445,6 +463,84 @@ mod tests {
         assert_eq!(arena.get(p), Some(&6));
         arena.clear();
         assert_eq!(arena.get(p), None);
+    }
+
+    #[test]
+    fn generation_wraps_around_without_panicking() {
+        let mut roster = PeerRoster::new();
+        roster.insert(ProcessId(1));
+        roster.force_gen(ProcessId(1), Gen(u32::MAX));
+        let last = roster.resolve(ProcessId(1)).unwrap();
+        assert_eq!(last.gen(), Gen(u32::MAX));
+
+        // Recycling the maxed-out slot wraps the generation to 0 rather
+        // than overflowing.
+        roster.remove(ProcessId(1));
+        let wrapped = roster.insert(ProcessId(2));
+        assert_eq!(wrapped.idx(), last.idx(), "slot is recycled");
+        assert_eq!(wrapped.gen(), Gen(0), "generation wraps to zero");
+        assert_eq!(roster.pid_of(wrapped), Some(ProcessId(2)));
+    }
+
+    #[test]
+    fn stale_handles_from_before_the_wrap_are_rejected() {
+        let mut roster = PeerRoster::new();
+        let mut arena: Arena<u64> = Arena::new();
+        roster.insert(ProcessId(1));
+        roster.force_gen(ProcessId(1), Gen(u32::MAX));
+        let pre_wrap = roster.resolve(ProcessId(1)).unwrap();
+        arena.set(pre_wrap, 10);
+        assert_eq!(arena.get(pre_wrap), Some(&10));
+
+        roster.remove(ProcessId(1));
+        let post_wrap = roster.insert(ProcessId(2));
+        assert_eq!(post_wrap.gen(), Gen(0));
+
+        // The pre-wrap handle fails closed everywhere: the roster no longer
+        // resolves it, and the arena neither reads, mutates, nor evicts
+        // through it.
+        assert_eq!(
+            roster.pid_of(pre_wrap),
+            None,
+            "stale handle resolves nothing"
+        );
+        assert_eq!(arena.get(post_wrap), None, "new occupant sees no leftovers");
+        arena.set(post_wrap, 20);
+        assert_eq!(arena.get(pre_wrap), None, "pre-wrap read rejected");
+        assert!(arena.get_mut(pre_wrap).is_none(), "pre-wrap write rejected");
+        assert_eq!(arena.remove(pre_wrap), None, "pre-wrap evict rejected");
+        assert_eq!(arena.get(post_wrap), Some(&20));
+    }
+
+    #[test]
+    fn every_retired_handle_stays_dead_across_many_recycles() {
+        // Recycle one slot repeatedly across the wrap boundary, keeping
+        // every retired handle: each must keep reading nothing — the lazy
+        // heap-discard in the detector leans on exactly this.
+        let mut roster = PeerRoster::new();
+        let mut arena: Arena<u64> = Arena::new();
+        roster.insert(ProcessId(0));
+        roster.force_gen(ProcessId(0), Gen(u32::MAX - 100));
+        let mut retired = Vec::new();
+        for round in 0u32..300 {
+            let pid = ProcessId(round % 7);
+            let r = roster.resolve(pid).unwrap_or_else(|| roster.insert(pid));
+            arena.set(r, u64::from(round));
+            retired.push(r);
+            roster.remove(pid);
+        }
+        let live = roster.insert(ProcessId(9));
+        arena.set(live, 999);
+        assert_eq!(
+            live.gen(),
+            Gen((u32::MAX - 100).wrapping_add(300)),
+            "one slot absorbed every recycle, wrapping past u32::MAX"
+        );
+        for (i, r) in retired.iter().enumerate() {
+            assert_eq!(roster.pid_of(*r), None, "retired handle {i} resolved");
+            assert_eq!(arena.get(*r), None, "retired handle {i} read a value");
+        }
+        assert_eq!(arena.get(live), Some(&999));
     }
 
     #[test]

@@ -195,6 +195,71 @@ fn determinism_survives_mid_run_inspection() {
     assert_eq!(fingerprint(&sim.trace().events), uninterrupted);
 }
 
+/// The intra-run sharded engine must be invisible at golden granularity:
+/// every crash-only golden scenario reruns through
+/// [`Sim::run_until_sharded`] at shards ∈ {1, 2, 4} and must reproduce the
+/// *same* recorded hashes — deliberately no new goldens, because the claim
+/// under test is that shard count changes nothing the trace records.
+#[test]
+fn sharded_reruns_reproduce_the_crash_only_goldens() {
+    let golden: [(usize, u64, usize, u64); 3] = [
+        (6, 42, 14696, 0x5240_f36d_ee7d_f5d8),
+        (5, 7, 8044, 0xde3b_806b_eee6_1872),
+        (9, 0xDEAD_BEEF, 46640, 0x1d76_8c0b_f965_d980),
+    ];
+    for (n, seed, events, hash) in golden {
+        for shards in [1usize, 2, 4] {
+            let mut sim = cluster(n, seed);
+            sim.crash_at(ProcessId(n as u32 - 1), 400);
+            sim.crash_at(ProcessId(1), 900);
+            sim.run_until_sharded(20_000, shards);
+            let fp = fingerprint(&sim.trace().events);
+            assert_eq!(
+                fp.len(),
+                events,
+                "n={n} seed={seed} shards={shards}: event count drifted"
+            );
+            assert_eq!(
+                fnv1a(&fp),
+                hash,
+                "n={n} seed={seed} shards={shards}: sharded trace drifted from the golden"
+            );
+        }
+    }
+}
+
+/// Sharded rerun of the join-bearing goldens below: the `Joining` receiver
+/// path (buffered coordinator rounds, digest re-carry) crosses shards too.
+#[test]
+fn sharded_reruns_reproduce_the_join_bearing_goldens() {
+    use gmp::protocol::{ClusterBuilder, Config, JoinConfig};
+    let golden: [(u64, usize, u64); 2] = [
+        (3, 14049, 0x57ce_8337_edd4_bb4f),
+        (21, 14051, 0xe388_d53c_14f8_fb08),
+    ];
+    for (seed, events, hash) in golden {
+        for shards in [1usize, 2, 4] {
+            let mut sim = ClusterBuilder::new(5, Config::default())
+                .joiner(JoinConfig::new(500, vec![ProcessId(1)]))
+                .sim(gmp::sim::Builder::new().seed(seed))
+                .build();
+            sim.crash_at(ProcessId(4), 1_400);
+            sim.run_until_sharded(12_000, shards);
+            let fp = fingerprint(&sim.trace().events);
+            assert_eq!(
+                fp.len(),
+                events,
+                "seed={seed} shards={shards}: event count drifted"
+            );
+            assert_eq!(
+                fnv1a(&fp),
+                hash,
+                "seed={seed} shards={shards}: sharded trace drifted from the golden"
+            );
+        }
+    }
+}
+
 /// A join-bearing companion to the goldens above. The crash-only goldens
 /// cannot exercise the `Joining` receiver path, so this scenario — one
 /// §7 join racing one exclusion — pins the digest re-carry decision
