@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiment ids follow `EXPERIMENTS.md`: t1, f1, f3, f4, f11, c71,
-//! e1..e12, a1, ab1, ab2. Flags:
+//! e1..e13, a1, ab1, ab2. Flags:
 //!
 //! * `--jobs N` — worker threads for the sweep experiments (E8/E9/E10).
 //!   Default: every core the platform reports. For E10 — whose whole
@@ -23,6 +23,11 @@
 //! * `--shards N` — shrinks E12's swept shard ladder to `{1, N}` (the
 //!   CI smoke run uses `--seeds 8 --shards 2`); without it the ladder
 //!   is `{1, 2, 4, 8}`. Output is pinned identical at every value.
+//!   `--shards auto` resolves N to the cores the host reports — the
+//!   engine clamps deeper ladders to that anyway.
+//!
+//! For E13 `--seeds` is the seeds sampled per (topology, n) cell (the CI
+//! smoke run uses `tables e13 --seeds 8`; default 4).
 
 use gmp_bench::*;
 use gmp_props::{analyze, check_safety};
@@ -38,11 +43,14 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--jobs" | "--seeds" | "--shards" => {
-                let v: u64 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&v| v >= 1)
-                    .unwrap_or_else(|| panic!("{a} needs a numeric value >= 1"));
+                let raw = it.next().unwrap_or_else(|| panic!("{a} needs a value"));
+                if a == "--shards" && raw == "auto" {
+                    shards_flag = Some(gmp_sim::pool::available_jobs().get());
+                    continue;
+                }
+                let v: u64 = raw.parse().ok().filter(|&v| v >= 1).unwrap_or_else(|| {
+                    panic!("{a} needs a numeric value >= 1 (or auto for --shards)")
+                });
                 match a.as_str() {
                     "--jobs" => jobs_flag = Some(v as usize),
                     "--shards" => shards_flag = Some(v as usize),
@@ -497,6 +505,84 @@ fn main() {
         match std::fs::write("BENCH_shard.json", &json) {
             Ok(()) => println!("(wrote BENCH_shard.json)\n"),
             Err(e) => println!("(could not write BENCH_shard.json: {e})\n"),
+        }
+    }
+
+    if want("e13") {
+        // Full scale (n up to 4096) only when e13 is asked for by name;
+        // the bare "everything" invocation gets the minutes-sized sizes.
+        let explicit = args.iter().any(|a| a == "e13");
+        // --seeds is the seeds sampled per (topology, n) cell.
+        let seeds = seeds_flag.unwrap_or(4);
+        let ns: &[usize] = if explicit {
+            &[64, 256, 1024, 4096]
+        } else {
+            &[64, 256]
+        };
+        println!("== E13: monitoring topologies — message load and exclusion latency vs n ==");
+        println!(
+            "(one exclusion per cell, {seeds} seeds; flat = the paper's clique, \
+             sparse = 4-regular ring, hier = groups of ceil(sqrt n) + leader overlay;\n \
+             identical = every seed reaches the same final membership as the first \
+             admitted topology of that n — cells too big for this host are skipped)\n"
+        );
+        println!(
+            "{:<6} {:<8} {:<10} {:<11} {:<10} {:<12} {:<10} identical",
+            "n", "topo", "mon.edges", "messages", "protocol", "latency", "events"
+        );
+        let rows = e13_topology_sweep(ns, seeds);
+        for r in &rows {
+            println!(
+                "{:<6} {:<8} {:<10} {:<11.0} {:<10.0} {:<12.1} {:<10} {}",
+                r.n,
+                r.topology,
+                r.degree_sum,
+                r.messages,
+                r.protocol,
+                r.latency,
+                r.events,
+                r.identical
+            );
+        }
+        for &n in ns {
+            for name in e13_topology_names() {
+                if !rows.iter().any(|r| r.n == n && r.topology == name) {
+                    println!(
+                        "(n={n} {name}: skipped — the settled trace exceeds this host's memory)"
+                    );
+                }
+            }
+        }
+        println!("(protocol cost stays flat: agreement still runs on the full view; only the monitoring load scales with the graph)");
+        // Hard gate, not just a printed column: CI leans on this step
+        // failing if any topology changes the agreed membership.
+        assert!(
+            rows.iter().all(|r| r.identical),
+            "a topology changed the final membership outcome"
+        );
+        // Machine-readable mirror for CI artifacts and EXPERIMENTS.md.
+        let mut json =
+            String::from("{\n  \"experiment\": \"e13_topology_sweep\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"n\": {}, \"topology\": \"{}\", \"seeds\": {}, \"intervals\": {}, \"degree_sum\": {}, \"events\": {}, \"messages\": {:.1}, \"protocol\": {:.1}, \"latency\": {:.1}, \"identical\": {}}}{}\n",
+                r.n,
+                r.topology,
+                r.seeds,
+                r.intervals,
+                r.degree_sum,
+                r.events,
+                r.messages,
+                r.protocol,
+                r.latency,
+                r.identical,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write("BENCH_topology.json", &json) {
+            Ok(()) => println!("(wrote BENCH_topology.json)\n"),
+            Err(e) => println!("(could not write BENCH_topology.json: {e})\n"),
         }
     }
 

@@ -9,7 +9,10 @@
 //! still addressed.
 
 use gmp_baselines::{SymMsg, SymmetricMember};
-use gmp_core::{cluster_with, is_protocol_tag, ClusterBuilder, Config, JoinConfig, Member, Msg};
+use gmp_core::{
+    cluster_with, is_protocol_tag, ClusterBuilder, Config, Flat, Hierarchical, JoinConfig, Member,
+    Msg, Sparse, Topology,
+};
 use gmp_props::{analyze, check_all, check_safety, knowledge_ladder, render_ladder};
 use gmp_sim::{
     pool, run_seeds_parallel, summarize_runs, BatchConfig, Builder, Sim, Stats, Summary, TraceKind,
@@ -17,6 +20,7 @@ use gmp_sim::{
 use gmp_types::{Note, ProcessId, View};
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Total protocol messages sent in a run (§7.2 counting convention).
@@ -1295,6 +1299,197 @@ pub fn e12_shard_scaling(
     rows
 }
 
+// ---------------------------------------------------------------------
+// E13 — monitoring topologies: message load and exclusion latency vs n
+// for the flat clique, the sparse ring and the two-level hierarchy
+// ---------------------------------------------------------------------
+
+/// One (topology, n) cell of E13's monitoring-graph sweep.
+#[derive(Clone, Debug)]
+pub struct TopologyRow {
+    /// Group size.
+    pub n: usize,
+    /// Topology label: `"flat"` (the paper's clique), `"sparse"`
+    /// ([`Sparse`] with k = 4) or `"hier"` ([`Hierarchical`] with groups
+    /// of ⌈√n⌉).
+    pub topology: &'static str,
+    /// Seeds sampled for this cell; every per-seed value is deterministic
+    /// in `(n, seed, topology)`.
+    pub seeds: u64,
+    /// Heartbeat intervals each run spanned: 4, shortened to 3 when the
+    /// memory governor demands it. The exclusion commits by ~250 either
+    /// way (see `shard_sweep_run` for the arc), so the span never
+    /// changes the outcome the gate compares.
+    pub intervals: u64,
+    /// Directed monitoring edges of the initial view — the per-interval
+    /// heartbeat load this topology buys: `n(n−1)` for the clique,
+    /// `k·n` for the ring, `≈ n·(g−1) + g·(g−1)` for the hierarchy.
+    pub degree_sum: u64,
+    /// Events the seed-0 run recorded (representative: other seeds differ
+    /// only in delivery jitter).
+    pub events: usize,
+    /// Mean messages per run, heartbeats included — the column the
+    /// degree sum predicts.
+    pub messages: f64,
+    /// Mean §7.2 protocol messages per run — flat across topologies,
+    /// because agreement still runs point-to-point on the full view.
+    pub protocol: f64,
+    /// Mean exclusion latency: the last survivor's v1 install time minus
+    /// the crash time.
+    pub latency: f64,
+    /// The hard gate: every sampled seed excluded the victim AND reached
+    /// the same final membership (survivor set and each survivor's view)
+    /// as the first admitted topology at this `n`.
+    pub identical: bool,
+}
+
+/// The three monitoring graphs E13 compares at size `n`.
+fn e13_topologies(n: usize) -> Vec<(&'static str, Arc<dyn Topology>)> {
+    let group = ((n as f64).sqrt().ceil() as usize).max(2);
+    vec![
+        ("flat", Arc::new(Flat) as Arc<dyn Topology>),
+        ("sparse", Arc::new(Sparse::new(4))),
+        ("hier", Arc::new(Hierarchical::new(group))),
+    ]
+}
+
+/// E13's per-cell scenario: the E12 coarse-timing exclusion arc (crash at
+/// t = 10 before the first heartbeat, suspicion at the survivors' t = 200
+/// tick, commit by ~250 — see [`shard_sweep_run`]) under the given
+/// monitoring graph. The victim `p(n−1)` is the most junior member: a
+/// ring edge-member and a non-leader of the hierarchy's last group, so
+/// the sparse and hierarchical cells genuinely exercise relay.
+fn e13_run(n: usize, seed: u64, topology: &Arc<dyn Topology>, horizon: u64) -> Sim<Msg, Member> {
+    let mut cfg = Config::default().timing(100, 150);
+    cfg.topology = Arc::clone(topology);
+    let mut sim = cluster_with(n, seed, cfg);
+    sim.crash_at(ProcessId(n as u32 - 1), 10);
+    sim.run_until(horizon);
+    sim
+}
+
+/// The final membership picture E13's gate compares across topologies:
+/// each survivor paired with its installed view.
+type MembershipOutcome = Vec<(ProcessId, Vec<ProcessId>)>;
+
+/// Everything E13's cross-topology gate compares: whether the exclusion
+/// committed everywhere, plus the surviving set and each survivor's final
+/// view.
+fn e13_outcome(sim: &Sim<Msg, Member>, victim: ProcessId) -> (bool, MembershipOutcome) {
+    let mut excluded = true;
+    let mut views = Vec::new();
+    for p in sim.living() {
+        let m = sim.node(p);
+        excluded &= m.ver() >= 1 && !m.view().contains(victim);
+        views.push((p, m.view().to_vec()));
+    }
+    views.sort();
+    (excluded, views)
+}
+
+/// Exclusion latency of one run: the time of the last `ViewInstalled`
+/// carrying version 1, minus the crash time.
+fn e13_latency(sim: &Sim<Msg, Member>) -> f64 {
+    let mut last = 0u64;
+    for e in &sim.trace().events {
+        if let TraceKind::Note(Note::ViewInstalled { ver: 1, .. }) = &e.kind {
+            last = last.max(e.time);
+        }
+    }
+    last.saturating_sub(10) as f64
+}
+
+/// Sweeps one exclusion per `(topology, n, seed)` across the three
+/// monitoring graphs of `e13_topologies`, measuring message load and
+/// exclusion latency and pinning — per seed — that every topology
+/// reaches the *same final membership* as the first admitted topology of
+/// that `n` ([`TopologyRow::identical`]; `tables e13` turns it into a
+/// hard assert).
+///
+/// Cells govern their own memory exactly like [`e12_shard_scaling`]: the
+/// settled trace costs `((2I−1)·deg_sum + I·n + 10n)` events at
+/// `e12_event_bytes` each (the degree sum replaces E12's `n²` — that
+/// is the whole point of a sparse graph), charged 2.5× against ~90% of
+/// available memory. A cell first sheds its span from 4 to 3 intervals,
+/// then is skipped entirely (no row) rather than run truncated; `tables`
+/// prints a note per missing cell. The clique's n = 4096 cell needs
+/// ~2.8 TB of trace and is skipped on any realistic host — that *is*
+/// the experiment's headline, not a defect. Sizes sweep largest-first
+/// and the clique runs before the sparse graphs within each size (freed
+/// trace chunks only serve same-or-smaller later runs; see the comment
+/// in [`e12_shard_scaling`]).
+///
+/// ```
+/// use gmp_bench::e13_topology_sweep;
+///
+/// let rows = e13_topology_sweep(&[8], 2);
+/// assert_eq!(rows.len(), 3);
+/// assert!(rows.iter().all(|r| r.identical), "topologies must agree");
+/// ```
+pub fn e13_topology_sweep(ns: &[usize], seeds: u64) -> Vec<TopologyRow> {
+    let mut ns: Vec<usize> = ns.to_vec();
+    ns.sort_unstable_by(|a, b| b.cmp(a));
+    let budget = mem_available_bytes() / 10 * 9;
+    let seeds = seeds.max(1);
+    let mut rows = Vec::new();
+    for &n in &ns {
+        let victim = ProcessId(n as u32 - 1);
+        let view = View::new((0..n as u32).map(ProcessId).collect());
+        let mut reference: Vec<Option<MembershipOutcome>> = vec![None; seeds as usize];
+        for (name, topo) in e13_topologies(n) {
+            let degree_sum: u64 = view
+                .iter()
+                .map(|p| topo.monitors(p, &view).len() as u64)
+                .sum();
+            let fits = |i: u64| {
+                let events = (2 * i - 1) * degree_sum + i * n as u64 + 10 * n as u64;
+                events * e12_event_bytes(n) * 25 / 10 <= budget
+            };
+            let Some(intervals) = [4u64, 3].into_iter().find(|&i| fits(i)) else {
+                continue;
+            };
+            let horizon = intervals * 100;
+            let (mut messages, mut protocol, mut latency) = (0f64, 0f64, 0f64);
+            let mut identical = true;
+            let mut events = 0usize;
+            for s in 0..seeds {
+                let sim = e13_run(n, s, &topo, horizon);
+                if s == 0 {
+                    events = sim.trace().events.len();
+                }
+                messages += sim.stats().sends_total() as f64;
+                protocol += protocol_messages(sim.stats()) as f64;
+                latency += e13_latency(&sim);
+                let (excluded, outcome) = e13_outcome(&sim, victim);
+                identical &= excluded;
+                match &reference[s as usize] {
+                    Some(r) => identical &= *r == outcome,
+                    None => reference[s as usize] = Some(outcome),
+                }
+            }
+            rows.push(TopologyRow {
+                n,
+                topology: name,
+                seeds,
+                intervals,
+                degree_sum,
+                events,
+                messages: messages / seeds as f64,
+                protocol: protocol / seeds as f64,
+                latency: latency / seeds as f64,
+                identical,
+            });
+        }
+    }
+    rows
+}
+
+/// The topology labels [`e13_topology_sweep`] tries per size, in sweep
+/// order — `tables e13` diffs rows against this to report skipped cells.
+pub fn e13_topology_names() -> [&'static str; 3] {
+    ["flat", "sparse", "hier"]
+}
+
 /// Convenience: a standard exclusion run for the Criterion benchmarks.
 pub fn bench_exclusion_run(n: usize, seed: u64) -> Sim<Msg, Member> {
     let mut sim = cluster_with(n, seed, Config::default());
@@ -1555,6 +1750,59 @@ mod tests {
             sim.node(ProcessId(0)).ver(),
             1,
             "the exclusion must commit within three heartbeat intervals"
+        );
+    }
+
+    #[test]
+    fn e13_every_topology_reaches_the_same_membership() {
+        let rows = e13_topology_sweep(&[8, 16], 2);
+        assert_eq!(rows.len(), 6, "two sizes x three topologies");
+        assert!(
+            rows.iter().all(|r| r.identical),
+            "per-seed final membership must not depend on the topology"
+        );
+        // Descending sizes, declaration order within a size.
+        let labels: Vec<(usize, &str)> = rows.iter().map(|r| (r.n, r.topology)).collect();
+        assert_eq!(
+            labels,
+            [
+                (16, "flat"),
+                (16, "sparse"),
+                (16, "hier"),
+                (8, "flat"),
+                (8, "sparse"),
+                (8, "hier")
+            ]
+        );
+    }
+
+    #[test]
+    fn e13_degree_sums_match_the_graphs() {
+        let rows = e13_topology_sweep(&[16], 1);
+        let deg = |label: &str| {
+            rows.iter()
+                .find(|r| r.topology == label)
+                .unwrap()
+                .degree_sum
+        };
+        assert_eq!(deg("flat"), 16 * 15, "clique: n(n-1) directed edges");
+        assert_eq!(deg("sparse"), 16 * 4, "4-regular ring: 4n directed edges");
+        // Groups of ceil(sqrt(16)) = 4: every member monitors its 3 group
+        // peers; the 4 leaders each monitor the 3 other leaders.
+        assert_eq!(deg("hier"), 16 * 3 + 4 * 3);
+    }
+
+    #[test]
+    fn e13_sparse_graphs_cut_the_message_load() {
+        let rows = e13_topology_sweep(&[32], 1);
+        let msgs = |label: &str| rows.iter().find(|r| r.topology == label).unwrap().messages;
+        assert!(
+            msgs("sparse") < msgs("flat") && msgs("hier") < msgs("flat"),
+            "sparse and hierarchical monitoring must send fewer messages \
+             than the clique at n = 32 (sparse {} / hier {} / flat {})",
+            msgs("sparse"),
+            msgs("hier"),
+            msgs("flat")
         );
     }
 

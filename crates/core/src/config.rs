@@ -1,6 +1,8 @@
 //! Protocol configuration.
 
+use crate::topology::{Flat, Topology};
 use gmp_types::ProcessId;
+use std::sync::Arc;
 
 /// Tuning knobs for a [`Member`](crate::Member).
 ///
@@ -37,6 +39,14 @@ pub struct Config {
     /// hierarchical management service: it tracks the agreed membership
     /// without ever being a member. `None` for members and joiners.
     pub observe: Option<ObserveConfig>,
+    /// The monitoring graph: who this member heartbeats (and carries
+    /// digests to). Recomputed against the view on every view install.
+    /// Defaults to the paper's clique ([`Flat`]); see
+    /// [`crate::topology`] for the sparse and hierarchical graphs. All
+    /// members of a cluster must share one topology (the symmetry contract
+    /// is between *peers*), which `ClusterBuilder` guarantees by cloning
+    /// the config.
+    pub topology: Arc<dyn Topology>,
 }
 
 impl Default for Config {
@@ -50,6 +60,7 @@ impl Default for Config {
             three_phase_reconfig: true,
             join: None,
             observe: None,
+            topology: Arc::new(Flat),
         }
     }
 }
@@ -107,6 +118,12 @@ impl Config {
     /// Marks this process as a group observer (§8).
     pub fn observing(mut self, observe: ObserveConfig) -> Self {
         self.observe = Some(observe);
+        self
+    }
+
+    /// Replaces the monitoring graph (default: [`Flat`]).
+    pub fn topology(mut self, topology: impl Topology + 'static) -> Self {
+        self.topology = Arc::new(topology);
         self
     }
 }

@@ -46,9 +46,11 @@ pub mod config;
 pub mod decide;
 pub mod member;
 pub mod msg;
+pub mod topology;
 
 pub use cluster::{cluster, cluster_with, ClusterBuilder};
 pub use config::{Config, JoinConfig, ObserveConfig};
 pub use decide::{determine, get_stable, proposals_for_ver, Decision, PhaseOneResp, Proposal};
 pub use member::{Lifecycle, Member};
 pub use msg::{is_protocol_tag, HeartbeatDigest, Msg, PROTOCOL_TAGS};
+pub use topology::{Flat, Hierarchical, Sparse, Topology};

@@ -118,6 +118,12 @@ pub struct Member {
     last_report: Arena<u64>,
     /// Sender-side state of the delta-encoded heartbeat digests (F2).
     hb: HbGossip,
+    /// The monitoring set computed from `cfg.topology` at the last view
+    /// install, in view order: heartbeat targets, digest carriers and
+    /// detector enrollment all draw from this cache instead of
+    /// re-enumerating the view. [`Member::install_topology`] keeps it (and
+    /// the detector roster) in sync with the view.
+    topo_monitored: Vec<ProcessId>,
     /// Observers subscribed to this member's view stream (§8).
     subscribers: BTreeSet<ProcessId>,
     /// Observer-side state, when this process is an observer.
@@ -221,6 +227,7 @@ impl Member {
             injected: Vec::new(),
             last_report: Arena::new(),
             hb: HbGossip::default(),
+            topo_monitored: Vec::new(),
             subscribers: BTreeSet::new(),
             obs: None,
         }
@@ -253,6 +260,7 @@ impl Member {
             injected: Vec::new(),
             last_report: Arena::new(),
             hb: HbGossip::default(),
+            topo_monitored: Vec::new(),
             subscribers: BTreeSet::new(),
             obs: None,
         }
@@ -306,6 +314,7 @@ impl Member {
             injected: Vec::new(),
             last_report: Arena::new(),
             hb: HbGossip::default(),
+            topo_monitored: Vec::new(),
             subscribers: BTreeSet::new(),
             obs: None,
         }
@@ -408,6 +417,7 @@ impl Member {
         // membership.
         self.last_report.clear();
         self.hb = HbGossip::default();
+        self.topo_monitored.clear();
         ctx.note(Note::Quit { reason });
         ctx.quit();
     }
@@ -459,6 +469,53 @@ impl Member {
         self.fd.forget(p);
         if let Some(slot) = self.hb.refs.get_mut(p.index()) {
             *slot = None;
+        }
+    }
+
+    /// Stops monitoring `p` because the *topology* shifted, not because it
+    /// left the group: the detector slot is retired without banning the id
+    /// (a later view may make `p` a neighbor again — see
+    /// [`HeartbeatDetector::release`]), and the cached handle is dropped
+    /// with it.
+    fn release_peer(&mut self, p: ProcessId) {
+        self.fd.release(p);
+        if let Some(slot) = self.hb.refs.get_mut(p.index()) {
+            *slot = None;
+        }
+    }
+
+    /// Recomputes the monitoring set from the configured topology against
+    /// the current view, diffing it against the previous set: ex-monitors
+    /// are released (not forgotten — they are still group members),
+    /// new monitors are tracked with `lease` as their presumed last life
+    /// sign. Called on every view install (initial start, welcome, and
+    /// each applied operation).
+    ///
+    /// Emits no trace events and draws no randomness; `track` is a no-op
+    /// for already-enrolled peers and `release` for never-enrolled ones —
+    /// so under [`Flat`](crate::topology::Flat), where the set is always
+    /// "everyone else", this reduces exactly to the pre-topology engine's
+    /// track-on-add calls and the run stays byte-identical (pinned by the
+    /// goldens in `tests/topology.rs`).
+    fn install_topology(&mut self, lease: u64) {
+        let monitored = self.cfg.topology.monitors(self.me, &self.view);
+        debug_assert!(
+            !monitored.contains(&self.me),
+            "topology contract: no self-monitoring"
+        );
+        let keep: BTreeSet<ProcessId> = monitored.iter().copied().collect();
+        let old = std::mem::replace(&mut self.topo_monitored, monitored);
+        for p in old {
+            if !keep.contains(&p) && self.view.contains(p) {
+                self.release_peer(p);
+            }
+            // Ex-monitors no longer in the view were already retired by
+            // `forget_peer` in the removal path; releasing them again
+            // would be a harmless no-op, skipped for clarity.
+        }
+        for i in 0..self.topo_monitored.len() {
+            let p = self.topo_monitored[i];
+            self.track_peer(p, lease);
         }
     }
 
@@ -543,12 +600,15 @@ impl Member {
                 if op.target == self.me || !self.view.push_junior(op.target) {
                     // Redundant add; still advances the version to stay in
                     // lockstep with the rest of the group.
-                } else {
-                    self.track_peer(op.target, ctx.now());
                 }
                 self.recovered.retain(|&j| j != op.target);
             }
         }
+        // The view changed: re-knit the monitoring graph around it. Under
+        // a removal this also enrolls whoever the shifted graph newly
+        // assigns to us (a sparse ring closes over the gap); under Flat it
+        // reduces to tracking exactly the added member.
+        self.install_topology(ctx.now());
         self.seq.push(op);
         self.ver += 1;
         // Installing a view needs no explicit pruning of the per-peer
@@ -1396,11 +1456,7 @@ impl Member {
         // the first life sign gives them three full timeout windows before
         // the joiner may suspect anyone it has never heard from.
         let grace = ctx.now() + 2 * self.cfg.suspect_after;
-        for p in self.view.to_vec() {
-            if p != self.me {
-                self.track_peer(p, grace);
-            }
-        }
+        self.install_topology(grace);
         // The welcomer demonstrably executes the protocol; other view
         // members may themselves still be joining, so they stay
         // unconfirmed until their first message arrives here.
@@ -1553,10 +1609,17 @@ impl Member {
                 Some(Shared::from(self.hb.last.clone()))
             };
         }
+        // Heartbeats (and their digests) go to the *monitoring set*, not
+        // the whole view — under the default Flat topology these coincide.
+        // Suspicion relay on sparse graphs falls out of this line plus the
+        // epoch bump above: learning `Faulty{q}` (by timeout or digest)
+        // changes `self.faulty`, which re-publishes the snapshot to
+        // exactly these monitors on this very tick.
         let targets: Vec<ProcessId> = self
-            .view
+            .topo_monitored
             .iter()
-            .filter(|&p| p != self.me && !self.faulty.contains(&p))
+            .copied()
+            .filter(|p| !self.faulty.contains(p))
             .collect();
         let snapshot = self.hb.snapshot.clone();
         let epoch = self.hb.epoch;
@@ -1702,15 +1765,12 @@ impl Node<Msg> for Member {
                     self.me
                 );
                 let now = ctx.now();
-                for p in self.view.to_vec() {
-                    if p != self.me {
-                        self.track_peer(p, now);
-                        // GMP-0: the initial membership is commonly known
-                        // and every initial member starts `Active`, so
-                        // digests to them may be delta-encoded from the
-                        // first beat.
-                        self.confirm_peer(p);
-                    }
+                self.install_topology(now);
+                // GMP-0: the initial membership is commonly known and every
+                // initial member starts `Active`, so digests to monitored
+                // peers may be delta-encoded from the first beat.
+                for p in self.topo_monitored.clone() {
+                    self.confirm_peer(p);
                 }
                 ctx.note(Note::ViewInstalled {
                     ver: 0,

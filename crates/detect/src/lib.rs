@@ -188,6 +188,24 @@ impl HeartbeatDetector {
         self.forgotten.insert(p);
     }
 
+    /// Stops monitoring `p` *without* retiring its id — the topology-shift
+    /// counterpart of [`forget`](HeartbeatDetector::forget). A view change
+    /// can move a still-live member out of this owner's monitoring set (a
+    /// sparse ring re-knits around every install) and a later change can
+    /// move it back in, so the id must stay trackable: the slot is
+    /// tombstoned like `forget`'s, but the id is not added to the
+    /// `forgotten` set and a later [`track`](HeartbeatDetector::track)
+    /// legally re-enrolls it under a fresh slot and lease. Suspicion state
+    /// is *kept* — S1 beliefs are permanent and independent of who is
+    /// currently monitoring whom. No-op for ids that were never enrolled
+    /// (releasing an already-`forget`ten peer during the same view install
+    /// must be harmless).
+    pub fn release(&mut self, p: ProcessId) {
+        if let Some(r) = self.roster.remove(p) {
+            self.last_heard.remove(r);
+        }
+    }
+
     /// Records a life sign from `p`. Ignored once `p` is suspected (by S1
     /// the owner will not receive from `p` again, so un-suspecting is
     /// meaningless) and ignored for *untracked* peers: the detector
@@ -531,6 +549,68 @@ mod tests {
         d.heard_from(p9, 50); // live deadline moves to 150
         assert!(d.tick(100).is_empty(), "stale gen-0 and gen-1 entries die");
         assert_eq!(d.tick(150), vec![p9]);
+    }
+
+    #[test]
+    fn release_allows_re_tracking() {
+        // Unlike `forget`, `release` models a topology shift: the peer is
+        // still a live group member, just no longer monitored here. It may
+        // come back.
+        let mut d = HeartbeatDetector::new(100);
+        d.track(P1, 0);
+        d.release(P1);
+        assert_eq!(d.resolve(P1), None, "released slot is retired");
+        assert!(d.tick(10_000).is_empty(), "no lease left to expire");
+        d.track(P1, 500); // legal: the id was not retired
+        assert!(d.resolve(P1).is_some());
+        assert_eq!(d.tick(600), vec![P1], "fresh lease, fresh timeout");
+    }
+
+    #[test]
+    fn release_keeps_suspicion_but_drops_the_slot() {
+        let mut d = HeartbeatDetector::new(100);
+        d.track(P1, 0);
+        d.suspect(P1);
+        d.release(P1);
+        assert!(d.is_suspect(P1), "S1 beliefs survive topology shifts");
+        assert_eq!(d.resolve(P1), None);
+        // Re-tracking a suspect stays a no-op, as on the flat path.
+        d.track(P1, 200);
+        assert_eq!(d.resolve(P1), None);
+        assert!(d.tick(10_000).is_empty());
+    }
+
+    #[test]
+    fn release_of_a_stranger_or_forgotten_peer_is_a_no_op() {
+        let mut d = HeartbeatDetector::new(100);
+        d.release(P1); // never enrolled
+        d.track(P2, 0);
+        d.forget(P2);
+        d.release(P2); // already retired by the view change
+        assert!(d.tick(10_000).is_empty());
+        #[cfg(debug_assertions)]
+        {
+            // `release` after `forget` must not un-retire the id.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut d2 = d.clone();
+                d2.track(P2, 50);
+            }));
+            assert!(result.is_err(), "forgotten id stays forgotten");
+        }
+    }
+
+    #[test]
+    fn stale_heap_entries_from_a_released_slot_die_on_generation() {
+        // Release leaves heap entries behind, like forget; a recycled slot
+        // must not inherit them.
+        let mut d = HeartbeatDetector::new(100);
+        d.track(P1, 0); // heap entry (100, slot0 gen0)
+        d.release(P1);
+        d.track(P2, 0); // recycles slot 0 under gen1, deadline 100
+        d.heard_from(P2, 50);
+        assert!(d.tick(100).is_empty(), "gen-0 entry reads nothing");
+        assert_eq!(d.tick(150), vec![P2]);
+        assert!(!d.is_suspect(P1));
     }
 
     #[test]

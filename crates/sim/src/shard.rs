@@ -571,6 +571,13 @@ impl<M: Message + Send, N: Node<M> + Send> Sim<M, N> {
     /// overhead — it exists for multicore scaling at large `n` and as the
     /// equivalence oracle for the sharded dispatch machinery itself.
     ///
+    /// `shards` is clamped to `min(shards, members, available cores)`:
+    /// a shard above that bound owns no work (or has no core to run on)
+    /// and is pure scheduling overhead — the E12 ledger showed shards=8
+    /// *regressing below sequential* at n=512 on small hosts. The clamp
+    /// is announced on stderr (never the trace, which stays identical at
+    /// every shard count).
+    ///
     /// # Panics
     ///
     /// Panics if `shards` is zero, if the simulation has no nodes, or if
@@ -579,6 +586,17 @@ impl<M: Message + Send, N: Node<M> + Send> Sim<M, N> {
     pub fn run_until_sharded(&mut self, until: Time, shards: usize) {
         assert!(shards >= 1, "shard count must be at least 1");
         let n = self.slots.len();
+        let cores = crate::pool::available_jobs().get();
+        let cap = n.max(1).min(cores);
+        let shards = if shards > cap {
+            eprintln!(
+                "note: clamping shards {shards} -> {cap} ({n} members, {cores} cores); \
+                 output is identical at every shard count"
+            );
+            cap
+        } else {
+            shards
+        };
         let starting = !self.started;
         if starting {
             assert!(n > 0, "simulation needs at least one node");

@@ -1,66 +1,34 @@
-//! The §8 extension: a hierarchical management service.
+//! Hierarchical monitoring: local groups plus a leader overlay.
 //!
 //! ```text
 //! cargo run --example hierarchy
 //! ```
 //!
-//! "By not requiring processes to be members of their own local views, we
-//! can create a hierarchical management service" (§8). Here two external
-//! *observers* — think dashboards, or clients of the service — subscribe
-//! to the group's view stream. They see every agreed membership change
-//! without participating in the agreement, and they survive both ordinary
-//! member failures and the failure of their own contact.
+//! Twelve members in groups of four. Each member heartbeats only its own
+//! group; the three group leaders also monitor each other, so suspicion of
+//! a remote failure reaches everyone by gossip relay through the overlay.
+//! Agreement is untouched — the excluded view is still installed by all.
 
-use gmp::protocol::{ClusterBuilder, Config, ObserveConfig};
-use gmp::sim::{Builder, TraceKind};
-use gmp::types::{Note, ProcessId};
+use gmp::protocol::{cluster_with, Config, Hierarchical};
+use gmp::types::ProcessId;
 
 fn main() {
-    let mut sim = ClusterBuilder::new(5, Config::default())
-        // Observer p5 follows member p2; observer p6 follows member p1.
-        .observer(ObserveConfig::new(200, vec![ProcessId(2)]))
-        .observer(ObserveConfig::new(250, vec![ProcessId(1)]))
-        .sim(Builder::new().seed(64))
-        .build();
+    let cfg = Config::default().topology(Hierarchical::new(4));
+    let mut sim = cluster_with(12, 64, cfg);
 
-    // A member dies, then observer p5's own contact dies, then the
-    // coordinator dies.
-    sim.crash_at(ProcessId(4), 800);
-    sim.crash_at(ProcessId(2), 2_200);
-    sim.crash_at(ProcessId(0), 4_000);
+    // p7 is a *non-leader* in the middle group: only p4..p7 monitor it
+    // directly, yet the whole cluster agrees on its exclusion.
+    sim.crash_at(ProcessId(7), 500);
+    sim.run_until(10_000);
 
-    sim.run_until(20_000);
-
-    println!("what the observers saw:");
-    for ev in &sim.trace().events {
-        if let TraceKind::Note(Note::ObservedView { ver, members, mgr }) = &ev.kind {
-            let ms: Vec<String> = members.iter().map(|m| m.to_string()).collect();
-            println!(
-                "  t={:<6} {} observed v{} (mgr {}): {{{}}}",
-                ev.time,
-                ev.pid,
-                ver,
-                mgr,
-                ms.join(", ")
-            );
-        }
+    for p in sim.living() {
+        let m = sim.node(p);
+        assert_eq!(m.ver(), 1);
+        assert!(!m.view().contains(ProcessId(7)));
     }
-
-    let a = sim
-        .node(ProcessId(5))
-        .observed_view()
-        .expect("observer 5 is live");
-    let b = sim
-        .node(ProcessId(6))
-        .observed_view()
-        .expect("observer 6 is live");
-    println!("\nobserver p5 final: v{} {}", a.1, a.0);
-    println!("observer p6 final: v{} {}", b.1, b.0);
-
-    // Both observers converged on the members' agreed view, despite p5
-    // losing its contact mid-run.
-    assert_eq!(a.0, b.0);
-    assert_eq!(a.1, 3, "three exclusions observed");
-    assert_eq!(a.0, sim.node(ProcessId(1)).view(), "observed == agreed");
-    println!("\nobservers track the agreed membership without being members: OK");
+    println!(
+        "12 members in groups of 4 agreed on v1 = {}",
+        sim.node(ProcessId(0)).view()
+    );
+    println!("hierarchical monitoring excluded p7 without a clique: OK");
 }

@@ -260,6 +260,45 @@ fn sharded_reruns_reproduce_the_join_bearing_goldens() {
     }
 }
 
+/// Sparse-topology replay: a run on the k-regular monitoring ring (PR 7's
+/// topology layer, `gmp::protocol::Sparse`) is as much a pure function of
+/// `(n, seed, fault schedule)` as the clique's, with the *relay* path —
+/// suspicion crossing the graph by digest re-carry, hop by hop — in
+/// play. The CI determinism job double-runs this scenario alongside the
+/// flat ones; the sharded rerun must also match, event for event.
+#[test]
+fn sparse_topology_replays_byte_identical() {
+    use gmp::protocol::{cluster_with, Config, Sparse};
+    let build = || {
+        let mut sim = cluster_with(12, 77, Config::default().topology(Sparse::new(4)));
+        sim.crash_at(ProcessId(11), 400);
+        sim.crash_at(ProcessId(1), 900);
+        sim
+    };
+    let mut first = build();
+    first.run_until(12_000);
+    let reference = fingerprint(&first.trace().events);
+    assert!(!reference.is_empty(), "run produced no events");
+
+    let mut again = build();
+    again.run_until(12_000);
+    assert_eq!(
+        fingerprint(&again.trace().events),
+        reference,
+        "sparse-topology replay diverged"
+    );
+
+    for shards in [2usize, 4] {
+        let mut sharded = build();
+        sharded.run_until_sharded(12_000, shards);
+        assert_eq!(
+            fingerprint(&sharded.trace().events),
+            reference,
+            "shards={shards}: sharded sparse-topology run diverged from sequential"
+        );
+    }
+}
+
 /// A join-bearing companion to the goldens above. The crash-only goldens
 /// cannot exercise the `Joining` receiver path, so this scenario — one
 /// §7 join racing one exclusion — pins the digest re-carry decision
