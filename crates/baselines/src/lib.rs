@@ -4,7 +4,7 @@
 //! | baseline | paper artifact | what it shows |
 //! |----------|----------------|---------------|
 //! | [`one_phase`] | Claim 7.1 | one-phase updates violate GMP-3 when the coordinator can fail |
-//! | two-phase reconfiguration (`gmp_core::Config::with_two_phase_reconfig`) | Claim 7.2 / Fig. 11 | without a proposal phase, invisible commits are undetectable |
+//! | two-phase reconfiguration (`gmp_core::ConfigBuilder::three_phase_reconfig`) | Claim 7.2 / Fig. 11 | without a proposal phase, invisible commits are undetectable |
 //! | [`symmetric`] | Bruso \[5\] comparison | symmetric protocols cost an order of magnitude more messages |
 //!
 //! The [`scenarios`] module builds the deterministic adversarial schedules

@@ -82,10 +82,10 @@ pub fn figure_11_run(three_phase: bool, seed: u64) -> Sim<Msg, Member> {
     // protocol messages, as in the paper's figures — otherwise the scripted
     // link failures leak through piggybacked faulty sets and the schedule
     // collapses into ordinary (correct) operation.
-    let mut cfg = Config::default().without_gossip();
-    if !three_phase {
-        cfg = cfg.with_two_phase_reconfig();
-    }
+    let cfg = Config::builder()
+        .gossip(false)
+        .three_phase_reconfig(three_phase)
+        .build();
     let view: View = (0..n).map(ProcessId).collect();
     let mut sim = Builder::new().seed(seed).build();
     for _ in 0..n {

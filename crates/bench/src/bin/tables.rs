@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiment ids follow `EXPERIMENTS.md`: t1, f1, f3, f4, f11, c71,
-//! e1..e13, a1, ab1, ab2. Flags:
+//! e1..e14, a1, ab1, ab2. Flags:
 //!
 //! * `--jobs N` — worker threads for the sweep experiments (E8/E9/E10).
 //!   Default: every core the platform reports. For E10 — whose whole
@@ -27,7 +27,9 @@
 //!   engine clamps deeper ladders to that anyway.
 //!
 //! For E13 `--seeds` is the seeds sampled per (topology, n) cell (the CI
-//! smoke run uses `tables e13 --seeds 8`; default 4).
+//! smoke run uses `tables e13 --seeds 8`; default 4). For E14 it is the
+//! schedules sampled per workload scenario (CI: `tables e14 --seeds 8`;
+//! default 4), each run through both engines.
 
 use gmp_bench::*;
 use gmp_props::{analyze, check_safety};
@@ -583,6 +585,96 @@ fn main() {
         match std::fs::write("BENCH_topology.json", &json) {
             Ok(()) => println!("(wrote BENCH_topology.json)\n"),
             Err(e) => println!("(could not write BENCH_topology.json: {e})\n"),
+        }
+    }
+
+    if want("e14") {
+        // --seeds is the schedules sampled per scenario row (the CI smoke
+        // run uses `tables e14 --seeds 8`; default 4). Every seed runs
+        // twice: once sequential, once sharded, and the two must agree.
+        let seeds = seeds_flag.unwrap_or(4);
+        println!("== E14: replicated log over membership — throughput, failover, safety ==");
+        println!(
+            "(multipaxos riding on views: Mgr = leader, view version = ballot, view \
+             install = reconfiguration;\n {seeds} seeds per scenario, each run sequential \
+             AND sharded; crash = leader dies mid-run, churn = + a joiner mid-admission;\n \
+             prefix = survivors' logs prefix-identical, sharded = sharded engine equals \
+             sequential)\n"
+        );
+        println!(
+            "{:<8} {:<6} {:<9} {:<12} {:<20} {:<22} {:<7} sharded",
+            "sched",
+            "seeds",
+            "ops/run",
+            "ops/ktick",
+            "latency p50/p99",
+            "failover p50/max",
+            "prefix"
+        );
+        let rows = e14_replicated_log(seeds);
+        for r in &rows {
+            let failover = if r.failover.count == 0 {
+                "-".to_string()
+            } else {
+                format!("{} / {}", r.failover.p50, r.failover.max)
+            };
+            println!(
+                "{:<8} {:<6} {:<9.0} {:<12.1} {:<20} {:<22} {:<7} {}",
+                r.scenario,
+                r.seeds,
+                r.committed,
+                r.throughput,
+                format!("{} / {}", r.latency.p50, r.latency.p99),
+                failover,
+                r.prefix_ok,
+                r.sharded_identical
+            );
+        }
+        println!(
+            "(failover p50 ≈ detection timeout + three-phase reconfiguration + log recovery; \
+             steady-state latency is one client→leader→quorum round trip)"
+        );
+        // Hard gates, not just printed columns: the CI smoke run leans on
+        // this step failing if any survivor log diverges or the sharded
+        // engine leaves the sequential reference.
+        assert!(
+            rows.iter().all(|r| r.prefix_ok),
+            "a survivor's committed log diverged"
+        );
+        assert!(
+            rows.iter().all(|r| r.sharded_identical),
+            "a sharded log run diverged from the sequential engine"
+        );
+        assert!(
+            rows.iter().all(|r| r.committed > 0.0),
+            "a scenario committed nothing"
+        );
+        // Machine-readable mirror for CI artifacts and EXPERIMENTS.md.
+        let mut json =
+            String::from("{\n  \"experiment\": \"e14_replicated_log\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"replicas\": {}, \"clients\": {}, \"seeds\": {}, \"horizon\": {}, \"committed\": {:.1}, \"ops_per_ktick\": {:.2}, \"latency_p50\": {}, \"latency_p99\": {}, \"failover_p50\": {}, \"failover_max\": {}, \"prefix_ok\": {}, \"sharded_identical\": {}}}{}\n",
+                r.scenario,
+                r.replicas,
+                r.clients,
+                r.seeds,
+                r.horizon,
+                r.committed,
+                r.throughput,
+                r.latency.p50,
+                r.latency.p99,
+                r.failover.p50,
+                r.failover.max,
+                r.prefix_ok,
+                r.sharded_identical,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write("BENCH_log.json", &json) {
+            Ok(()) => println!("(wrote BENCH_log.json)\n"),
+            Err(e) => println!("(could not write BENCH_log.json: {e})\n"),
         }
     }
 

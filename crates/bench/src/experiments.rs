@@ -13,6 +13,7 @@ use gmp_core::{
     cluster_with, is_protocol_tag, ClusterBuilder, Config, Flat, Hierarchical, JoinConfig, Member,
     Msg, Sparse, Topology,
 };
+use gmp_log::{prefix_identical, AppMsg, LogClusterBuilder, LogCmd, LogProc};
 use gmp_props::{analyze, check_all, check_safety, knowledge_ladder, render_ladder};
 use gmp_sim::{
     pool, run_seeds_parallel, summarize_runs, BatchConfig, Builder, Sim, Stats, Summary, TraceKind,
@@ -92,10 +93,10 @@ pub fn e2_condensed(ns: &[usize], seed: u64) -> Vec<CondensedRow> {
         .map(|&n| {
             let victims = n / 2;
             let run = |compression: bool| -> u64 {
-                let mut cfg = Config::default().without_mgr_majority();
-                if !compression {
-                    cfg = cfg.without_compression();
-                }
+                let cfg = Config::builder()
+                    .mgr_majority(false)
+                    .compression(compression)
+                    .build();
                 let mut sim = cluster_with(n, seed + n as u64, cfg);
                 // Crash the junior half in one burst: all their exclusions
                 // are pending at once, which is when compression matters.
@@ -312,7 +313,7 @@ pub fn e7_tolerance(seed: u64) -> Vec<ToleranceRow> {
     // Basic algorithm (no Mgr majority): n−1 failures tolerated.
     {
         let n = 5;
-        let mut sim = cluster_with(n, seed, Config::default().without_mgr_majority());
+        let mut sim = cluster_with(n, seed, Config::builder().mgr_majority(false).build());
         for k in 1..n {
             sim.crash_at(ProcessId(k as u32), 300 + 400 * k as u64);
         }
@@ -549,10 +550,7 @@ pub fn ab1_gossip(seed: u64) -> Vec<GossipRow> {
     [true, false]
         .into_iter()
         .map(|gossip| {
-            let mut cfg = Config::default();
-            if !gossip {
-                cfg = cfg.without_gossip();
-            }
+            let cfg = Config::builder().gossip(gossip).build();
             let mut sim = cluster_with(8, seed, cfg);
             sim.crash_at(ProcessId(6), 400);
             sim.crash_at(ProcessId(7), 410);
@@ -601,7 +599,7 @@ pub fn ab2_timeout_sweep(seed: u64) -> Vec<TimeoutRow> {
     [30u64, 100, 200, 400, 800]
         .into_iter()
         .map(|suspect_after| {
-            let cfg = Config::default().timing(40, suspect_after);
+            let cfg = Config::builder().timing(40, suspect_after).build();
             let mut sim = cluster_with(6, seed, cfg);
             sim.crash_at(ProcessId(5), crash_time);
             sim.run_until(30_000);
@@ -694,7 +692,7 @@ pub fn e8_seed_sweep(ns: &[usize], seeds: Range<u64>, jobs: Option<NonZeroUsize>
 /// The per-seed scenario E8 and E10 sweep: one exclusion under coarsened
 /// detector timing, delays resampled by the seed.
 fn exclusion_sweep_run(n: usize, seed: u64) -> Sim<Msg, Member> {
-    let mut sim = cluster_with(n, seed, Config::default().timing(100, 400));
+    let mut sim = cluster_with(n, seed, Config::builder().timing(100, 400).build());
     sim.crash_at(ProcessId(n as u32 - 1), 300);
     sim
 }
@@ -753,7 +751,7 @@ pub fn e9_heartbeat_fanout(ns: &[usize], seed: u64, jobs: Option<NonZeroUsize>) 
     pool::run_indexed(jobs, ns.len(), |i| {
         let n = ns[i];
         let horizon = 4_000;
-        let cfg = Config::default().timing(100, 400);
+        let cfg = Config::builder().timing(100, 400).build();
         let intervals = horizon / cfg.heartbeat_every;
         let mut sim = cluster_with(n, seed + n as u64, cfg);
         sim.crash_at(ProcessId(n as u32 - 1), 300);
@@ -1082,7 +1080,7 @@ pub struct ShardRow {
 /// beats plus the 1–3-tick delivery jitter), comfortably inside the
 /// 150-tick timeout, so no spurious suspicion is possible.
 fn shard_sweep_run(n: usize, seed: u64) -> Sim<Msg, Member> {
-    let mut sim = cluster_with(n, seed, Config::default().timing(100, 150));
+    let mut sim = cluster_with(n, seed, Config::builder().timing(100, 150).build());
     sim.crash_at(ProcessId(n as u32 - 1), 10);
     sim
 }
@@ -1360,8 +1358,10 @@ fn e13_topologies(n: usize) -> Vec<(&'static str, Arc<dyn Topology>)> {
 /// ring edge-member and a non-leader of the hierarchy's last group, so
 /// the sparse and hierarchical cells genuinely exercise relay.
 fn e13_run(n: usize, seed: u64, topology: &Arc<dyn Topology>, horizon: u64) -> Sim<Msg, Member> {
-    let mut cfg = Config::default().timing(100, 150);
-    cfg.topology = Arc::clone(topology);
+    let cfg = Config::builder()
+        .timing(100, 150)
+        .topology_shared(Arc::clone(topology))
+        .build();
     let mut sim = cluster_with(n, seed, cfg);
     sim.crash_at(ProcessId(n as u32 - 1), 10);
     sim.run_until(horizon);
@@ -1488,6 +1488,221 @@ pub fn e13_topology_sweep(ns: &[usize], seeds: u64) -> Vec<TopologyRow> {
 /// order — `tables e13` diffs rows against this to report skipped cells.
 pub fn e13_topology_names() -> [&'static str; 3] {
     ["flat", "sparse", "hier"]
+}
+
+// ---------------------------------------------------------------------
+// E14 — the replicated-log workload: committed throughput, failover
+// latency and log safety under crash and churn schedules
+// ---------------------------------------------------------------------
+
+/// One scenario row of E14's replicated-log workload, aggregated over
+/// seeds.
+#[derive(Clone, Debug)]
+pub struct LogRow {
+    /// Schedule label: `"steady"` (no failures), `"crash"` (the leader
+    /// dies mid-run) or `"churn"` (the leader dies while a joiner is
+    /// being admitted and state-transferred).
+    pub scenario: &'static str,
+    /// Initial replicas (the churn schedule adds one joiner on top).
+    pub replicas: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Seeds sampled; every per-seed value is deterministic.
+    pub seeds: u64,
+    /// Simulated horizon in ticks.
+    pub horizon: u64,
+    /// Mean committed client operations per run (`NOOP` fillers excluded).
+    pub committed: f64,
+    /// Committed client operations per 1 000 simulated ticks.
+    pub throughput: f64,
+    /// Commit latency (issue → reply), pooled across clients and seeds.
+    pub latency: Summary,
+    /// Failover latency per seed: the first commit under the successor's
+    /// ballot minus the crash time. Empty for the steady schedule.
+    pub failover: Summary,
+    /// Hard gate: on every seed the survivors' committed logs were
+    /// prefix-identical (they may lag, never diverge).
+    pub prefix_ok: bool,
+    /// Hard gate: on every seed the sharded engine reproduced the
+    /// sequential run exactly — same committed log on every survivor,
+    /// same acknowledgement count and latencies at every client.
+    pub sharded_identical: bool,
+}
+
+/// One E14 schedule: who runs, who crashes, who joins.
+struct LogScenario {
+    name: &'static str,
+    replicas: usize,
+    clients: usize,
+    /// Crash the initial leader (`p0`) at this time.
+    crash_at: Option<u64>,
+    /// Admit a joiner first asking at this time.
+    join_at: Option<u64>,
+    horizon: u64,
+}
+
+/// The three schedules E14 samples. The crash victim is always `p0`:
+/// the senior member, hence the initial `Mgr` and log leader — the
+/// worst case for the workload, because exclusion, three-phase
+/// reconfiguration *and* log recovery all sit on the critical path of
+/// every in-flight command.
+fn e14_scenarios() -> Vec<LogScenario> {
+    vec![
+        LogScenario {
+            name: "steady",
+            replicas: 5,
+            clients: 4,
+            crash_at: None,
+            join_at: None,
+            horizon: 15_000,
+        },
+        LogScenario {
+            name: "crash",
+            replicas: 5,
+            clients: 4,
+            crash_at: Some(3_000),
+            join_at: None,
+            horizon: 20_000,
+        },
+        LogScenario {
+            name: "churn",
+            replicas: 5,
+            clients: 4,
+            crash_at: Some(3_000),
+            join_at: Some(2_500),
+            horizon: 20_000,
+        },
+    ]
+}
+
+fn e14_build(sc: &LogScenario, seed: u64) -> Sim<AppMsg, LogProc> {
+    let mut b = LogClusterBuilder::new(sc.replicas, sc.clients).seed(seed);
+    if let Some(at) = sc.join_at {
+        // Contact a non-Mgr member: the forwarding path and the crash of
+        // the Mgr mid-admission are both part of the schedule.
+        b = b.joiner(JoinConfig::new(at, vec![ProcessId(1)]));
+    }
+    let mut sim = b.build();
+    if let Some(at) = sc.crash_at {
+        sim.crash_at(ProcessId(0), at);
+    }
+    sim
+}
+
+/// Everything the cross-engine gate compares: each surviving replica's
+/// committed log, and each client's acknowledged latencies (count and
+/// values — acks pin the replies, latencies pin their timing).
+type LogOutcome = (Vec<(ProcessId, Vec<LogCmd>)>, Vec<Vec<u64>>);
+
+fn e14_outcome(sim: &Sim<AppMsg, LogProc>, sc: &LogScenario) -> LogOutcome {
+    let mut logs: Vec<(ProcessId, Vec<LogCmd>)> = sim
+        .living()
+        .into_iter()
+        .filter(|&p| sim.node(p).is_replica())
+        .map(|p| (p, sim.node(p).log().committed().to_vec()))
+        .collect();
+    logs.sort();
+    let first_client = (sc.replicas + sc.join_at.is_some() as usize) as u32;
+    let lats = (0..sc.clients as u32)
+        .map(|k| {
+            sim.node(ProcessId(first_client + k))
+                .client()
+                .latencies()
+                .to_vec()
+        })
+        .collect();
+    (logs, lats)
+}
+
+/// Failover latency of one crashed run: the first commit applied under a
+/// ballot at least the version that *excluded* the victim, minus the
+/// crash time. (Anchoring on the exclusion version rather than "any
+/// version > 0" matters in the churn schedule, where a join can install
+/// an intermediate view before the crash.) `None` if the log never
+/// advanced past the failover — which the liveness gate would catch
+/// anyway.
+fn e14_failover(sim: &Sim<AppMsg, LogProc>, crash_at: u64) -> Option<u64> {
+    let excl_ver = sim
+        .trace()
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TraceKind::Note(Note::ViewInstalled { ver, members, .. })
+                if !members.contains(&ProcessId(0)) =>
+            {
+                Some(*ver)
+            }
+            _ => None,
+        })
+        .min()?;
+    let log = sim.node(ProcessId(1)).log();
+    log.ballots()
+        .iter()
+        .zip(log.applied_at())
+        .find(|&(&b, _)| b >= excl_ver)
+        .map(|(_, &t)| t.saturating_sub(crash_at))
+}
+
+/// Drives the replicated-log workload of `crates/log` through the three
+/// schedules of `e14_scenarios`, measuring committed throughput, commit
+/// latency and failover latency, and pinning two hard gates per seed:
+/// survivors' logs prefix-identical ([`LogRow::prefix_ok`]), and the
+/// sharded engine byte-equal to the sequential one on logs and client
+/// acknowledgements ([`LogRow::sharded_identical`]). `tables e14` turns
+/// both into hard asserts.
+///
+/// ```
+/// use gmp_bench::e14_replicated_log;
+///
+/// let rows = e14_replicated_log(1);
+/// assert_eq!(rows.len(), 3);
+/// assert!(rows.iter().all(|r| r.prefix_ok && r.sharded_identical));
+/// assert!(rows.iter().all(|r| r.committed > 0.0));
+/// ```
+pub fn e14_replicated_log(seeds: u64) -> Vec<LogRow> {
+    let seeds = seeds.max(1);
+    let mut rows = Vec::new();
+    for sc in e14_scenarios() {
+        let mut committed = 0f64;
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut failovers: Vec<u64> = Vec::new();
+        let (mut prefix_ok, mut sharded_identical) = (true, true);
+        for s in 0..seeds {
+            let mut seq = e14_build(&sc, s);
+            seq.run_until(sc.horizon);
+            let (logs, lats) = e14_outcome(&seq, &sc);
+            prefix_ok &= prefix_identical(logs.iter().map(|(_, l)| l.as_slice()));
+            committed += seq.node(ProcessId(1)).log().committed_ops() as f64;
+            for l in &lats {
+                latencies.extend_from_slice(l);
+            }
+            if let Some(at) = sc.crash_at {
+                if let Some(f) = e14_failover(&seq, at) {
+                    failovers.push(f);
+                }
+            }
+            // The same schedule through the sharded engine must land on
+            // the same logs and the same client-visible behaviour.
+            let mut sharded = e14_build(&sc, s);
+            sharded.run_until_sharded(sc.horizon, 2);
+            sharded_identical &= e14_outcome(&sharded, &sc) == (logs, lats);
+        }
+        let committed = committed / seeds as f64;
+        rows.push(LogRow {
+            scenario: sc.name,
+            replicas: sc.replicas,
+            clients: sc.clients,
+            seeds,
+            horizon: sc.horizon,
+            committed,
+            throughput: committed * 1_000.0 / sc.horizon as f64,
+            latency: Summary::of(&latencies),
+            failover: Summary::of(&failovers),
+            prefix_ok,
+            sharded_identical,
+        });
+    }
+    rows
 }
 
 /// Convenience: a standard exclusion run for the Criterion benchmarks.

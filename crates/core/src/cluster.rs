@@ -68,11 +68,13 @@ impl ClusterBuilder {
             sim.add_node(Member::new(self.cfg.clone(), initial.clone()));
         }
         for join in self.joiners {
-            let cfg = self.cfg.clone().joining(join);
+            let mut cfg = self.cfg.clone();
+            cfg.join = Some(join);
             sim.add_node(Member::joiner(cfg));
         }
         for observe in self.observers {
-            let cfg = self.cfg.clone().observing(observe);
+            let mut cfg = self.cfg.clone();
+            cfg.observe = Some(observe);
             sim.add_node(Member::observer(cfg));
         }
         sim

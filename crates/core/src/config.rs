@@ -9,7 +9,22 @@ use std::sync::Arc;
 /// Defaults reproduce the paper's *final* algorithm: condensed update rounds
 /// (§3.1), the `Mgr` majority requirement of Fig. 8, and gossip piggybacking
 /// (F2) on heartbeats.
+///
+/// Construct with [`Config::default`] or, to change any knob, through
+/// [`Config::builder`]:
+///
+/// ```
+/// use gmp_core::Config;
+///
+/// let cfg = Config::builder().timing(40, 400).gossip(false).build();
+/// assert_eq!(cfg.suspect_after, 400);
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: fields stay readable everywhere, but
+/// new knobs (topology landed in PR 7; lease policies and log batching are
+/// next) can be added without breaking downstream construction sites.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct Config {
     /// Interval between heartbeat/failure-detector ticks.
     pub heartbeat_every: u64,
@@ -66,65 +81,118 @@ impl Default for Config {
 }
 
 impl Config {
+    /// Starts a [`ConfigBuilder`] from the defaults. The only supported
+    /// way to construct a non-default configuration.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::default()
+    }
+
     /// Default configuration for an initial member.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Config::default()` or `Config::builder()`"
+    )]
     pub fn new() -> Self {
         Config::default()
     }
+}
 
-    /// Sets the heartbeat interval and suspicion timeout.
+/// Builds a [`Config`], knob by knob.
+///
+/// Obtained from [`Config::builder`]; every setter has a default (the
+/// paper's final algorithm), so only the knobs under study need naming.
+/// Because `Config` itself is `#[non_exhaustive]`, the builder is the
+/// construction path that stays source-compatible when knobs are added.
+///
+/// ```
+/// use gmp_core::{Config, Sparse};
+///
+/// let cfg = Config::builder()
+///     .timing(100, 400)
+///     .compression(false)
+///     .topology(Sparse::new(4))
+///     .build();
+/// assert!(!cfg.compression);
+/// ```
+#[derive(Clone, Debug, Default)]
+#[must_use = "call `.build()` to obtain the Config"]
+pub struct ConfigBuilder {
+    cfg: Config,
+}
+
+impl ConfigBuilder {
+    /// Sets the heartbeat interval and the suspicion timeout together —
+    /// the two only make sense relative to each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are positive.
     pub fn timing(mut self, heartbeat_every: u64, suspect_after: u64) -> Self {
         assert!(
             heartbeat_every > 0 && suspect_after > 0,
             "timing values must be positive"
         );
-        self.heartbeat_every = heartbeat_every;
-        self.suspect_after = suspect_after;
+        self.cfg.heartbeat_every = heartbeat_every;
+        self.cfg.suspect_after = suspect_after;
         self
     }
 
-    /// Disables condensed rounds (standard two-phase updates).
-    pub fn without_compression(mut self) -> Self {
-        self.compression = false;
+    /// Enables or disables condensed update rounds (§3.1). Off measures
+    /// the standard two-phase cost (§7.2).
+    pub fn compression(mut self, on: bool) -> Self {
+        self.cfg.compression = on;
         self
     }
 
-    /// Disables the `Mgr` majority requirement (§3.1 basic algorithm,
-    /// valid only when `Mgr` cannot fail).
-    pub fn without_mgr_majority(mut self) -> Self {
-        self.mgr_majority = false;
+    /// Enables or disables the `Mgr` majority requirement (Fig. 8). Off
+    /// runs the §3.1 basic algorithm, valid only when `Mgr` cannot fail.
+    pub fn mgr_majority(mut self, on: bool) -> Self {
+        self.cfg.mgr_majority = on;
         self
     }
 
-    /// Disables heartbeat gossip.
-    pub fn without_gossip(mut self) -> Self {
-        self.gossip = false;
+    /// Enables or disables faulty-set gossip on heartbeats (F2).
+    pub fn gossip(mut self, on: bool) -> Self {
+        self.cfg.gossip = on;
         self
     }
 
-    /// Degrades reconfiguration to two phases (interrogate → commit).
-    /// **Unsound** — provided only to reproduce the Claim 7.2
+    /// Enables or disables the third reconfiguration phase. **Disabling is
+    /// unsound** — provided only to reproduce the Claim 7.2
     /// counterexample; see `gmp-baselines`.
-    pub fn with_two_phase_reconfig(mut self) -> Self {
-        self.three_phase_reconfig = false;
+    pub fn three_phase_reconfig(mut self, on: bool) -> Self {
+        self.cfg.three_phase_reconfig = on;
         self
     }
 
-    /// Marks this process as a joiner with the given parameters.
+    /// Marks this process as a joiner with the given parameters (§7).
     pub fn joining(mut self, join: JoinConfig) -> Self {
-        self.join = Some(join);
+        self.cfg.join = Some(join);
         self
     }
 
     /// Marks this process as a group observer (§8).
     pub fn observing(mut self, observe: ObserveConfig) -> Self {
-        self.observe = Some(observe);
+        self.cfg.observe = Some(observe);
         self
     }
 
     /// Replaces the monitoring graph (default: [`Flat`]).
     pub fn topology(mut self, topology: impl Topology + 'static) -> Self {
-        self.topology = Arc::new(topology);
+        self.cfg.topology = Arc::new(topology);
         self
+    }
+
+    /// Replaces the monitoring graph with an already-shared instance —
+    /// what sweeps use to hand one `Arc` to every member of many runs.
+    pub fn topology_shared(mut self, topology: Arc<dyn Topology>) -> Self {
+        self.cfg.topology = topology;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Config {
+        self.cfg
     }
 }
 
@@ -209,14 +277,29 @@ mod tests {
 
     #[test]
     fn builder_methods() {
-        let c = Config::new()
+        let c = Config::builder()
             .timing(10, 50)
-            .without_compression()
-            .without_mgr_majority()
-            .without_gossip();
+            .compression(false)
+            .mgr_majority(false)
+            .gossip(false)
+            .build();
         assert_eq!(c.heartbeat_every, 10);
         assert_eq!(c.suspect_after, 50);
         assert!(!c.compression && !c.mgr_majority && !c.gossip);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn new_shim_matches_default() {
+        let c = Config::new();
+        assert_eq!(c.heartbeat_every, Config::default().heartbeat_every);
+        assert!(c.compression && c.mgr_majority && c.gossip);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn builder_rejects_zero_timing() {
+        let _ = Config::builder().timing(0, 50);
     }
 
     #[test]

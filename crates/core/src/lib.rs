@@ -44,13 +44,15 @@
 pub mod cluster;
 pub mod config;
 pub mod decide;
+pub mod event;
 pub mod member;
 pub mod msg;
 pub mod topology;
 
 pub use cluster::{cluster, cluster_with, ClusterBuilder};
-pub use config::{Config, JoinConfig, ObserveConfig};
+pub use config::{Config, ConfigBuilder, JoinConfig, ObserveConfig};
 pub use decide::{determine, get_stable, proposals_for_ver, Decision, PhaseOneResp, Proposal};
+pub use event::MemberEvent;
 pub use member::{Lifecycle, Member};
 pub use msg::{is_protocol_tag, HeartbeatDigest, Msg, PROTOCOL_TAGS};
 pub use topology::{Flat, Hierarchical, Sparse, Topology};

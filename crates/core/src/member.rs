@@ -16,6 +16,7 @@
 
 use crate::config::Config;
 use crate::decide::{determine, PhaseOneResp};
+use crate::event::MemberEvent;
 use crate::msg::{HeartbeatDigest, Msg};
 use gmp_detect::{HeartbeatDetector, Isolation};
 use gmp_sim::{Ctx, Node, Shared};
@@ -128,6 +129,10 @@ pub struct Member {
     subscribers: BTreeSet<ProcessId>,
     /// Observer-side state, when this process is an observer.
     obs: Option<ObsState>,
+    /// Undrained consumer events ([`Member::take_events`]). Pushing here is
+    /// protocol-invisible — no sends, notes or randomness — so the queue
+    /// never perturbs the byte-identical golden runs.
+    events: Vec<MemberEvent>,
 }
 
 /// Sender-side heartbeat-gossip state: the faulty set travels as one
@@ -230,6 +235,7 @@ impl Member {
             topo_monitored: Vec::new(),
             subscribers: BTreeSet::new(),
             obs: None,
+            events: Vec::new(),
         }
     }
 
@@ -263,6 +269,7 @@ impl Member {
             topo_monitored: Vec::new(),
             subscribers: BTreeSet::new(),
             obs: None,
+            events: Vec::new(),
         }
     }
 
@@ -317,6 +324,7 @@ impl Member {
             topo_monitored: Vec::new(),
             subscribers: BTreeSet::new(),
             obs: None,
+            events: Vec::new(),
         }
     }
 
@@ -364,8 +372,23 @@ impl Member {
         self.faulty.iter().copied()
     }
 
+    /// Drains the queued [`MemberEvent`]s, in occurrence order.
+    ///
+    /// This is the push-flavored consumer API: a layer built on top of the
+    /// group (`gmp-log`'s replicated log, most prominently) calls this
+    /// after every handler invocation and reacts to membership transitions
+    /// instead of polling accessors. See [`crate::event`] for the queue's
+    /// contract (protocol-invisible, deterministic, ordered, drained).
+    pub fn take_events(&mut self) -> Vec<MemberEvent> {
+        std::mem::take(&mut self.events)
+    }
+
     /// Queues a spurious suspicion, applied at the next detector tick.
     /// Models the degraded-performance misdetections of §2.2.
+    ///
+    /// Test-only hook (enable the `testing` feature): real suspicions come
+    /// from the failure-detection rules F1/F2, never from outside.
+    #[cfg(any(feature = "testing", test))]
     pub fn inject_suspicion(&mut self, q: ProcessId) {
         self.injected.push(q);
     }
@@ -376,6 +399,9 @@ impl Member {
     /// tombstoning a slot (or recycling it for a joiner) makes the old
     /// entry unreadable — the state stays bounded by the view size across
     /// arbitrarily long reconfiguration-heavy runs.
+    ///
+    /// Test/experiment instrumentation (enable the `testing` feature).
+    #[cfg(any(feature = "testing", test))]
     pub fn reported_suspects(&self) -> impl Iterator<Item = ProcessId> + '_ {
         self.fd
             .enrolled()
@@ -387,6 +413,9 @@ impl Member {
     /// per *change* of its faulty set, never one per tick or per target.
     /// The E9 fan-out experiment sums this across members to show payload
     /// constructions per interval dropped from Θ(n²) to Θ(n).
+    ///
+    /// Test/experiment instrumentation (enable the `testing` feature).
+    #[cfg(any(feature = "testing", test))]
     pub fn heartbeat_payload_builds(&self) -> u64 {
         self.hb.builds
     }
@@ -414,10 +443,14 @@ impl Member {
         self.lifecycle = Lifecycle::Stopped;
         // A stopped member neither reports nor heartbeats ever again; free
         // the per-peer arenas rather than letting them outlive the
-        // membership.
+        // membership. The event queue survives: the host gets to observe
+        // the terminal transition.
         self.last_report.clear();
         self.hb = HbGossip::default();
         self.topo_monitored.clear();
+        self.events.push(MemberEvent::Quit {
+            reason: reason.clone(),
+        });
         ctx.note(Note::Quit { reason });
         ctx.quit();
     }
@@ -583,6 +616,7 @@ impl Member {
     /// Applies one committed membership operation, bumping the version and
     /// emitting the trace notes the property checkers consume.
     fn apply_op(&mut self, ctx: &mut Ctx<'_, Msg>, op: Op) {
+        let excluded = (op.kind == OpKind::Remove).then_some(op.target);
         match op.kind {
             OpKind::Remove => {
                 if op.target == self.me {
@@ -624,6 +658,17 @@ impl Member {
             members: self.view.to_vec(),
             mgr: self.mgr,
         });
+        if let Some(peer) = excluded {
+            self.events.push(MemberEvent::PeerExcluded {
+                peer,
+                ver: self.ver,
+            });
+        }
+        self.events.push(MemberEvent::ViewInstalled {
+            ver: self.ver,
+            members: self.view.to_vec(),
+            mgr: self.mgr,
+        });
         self.notify_subscribers(ctx);
     }
 
@@ -651,6 +696,8 @@ impl Member {
             return;
         }
         self.fd.suspect(q);
+        self.events
+            .push(MemberEvent::PeerSuspected { peer: q, source });
         ctx.note(Note::Faulty { suspect: q, source });
         if self.view.contains(q) {
             self.faulty.insert(q);
@@ -698,6 +745,8 @@ impl Member {
             return; // already believed faulty
         }
         self.fd.suspect(q);
+        self.events
+            .push(MemberEvent::PeerSuspected { peer: q, source });
         ctx.note(Note::Faulty { suspect: q, source });
         if !self.view.contains(q) {
             return;
@@ -1461,6 +1510,11 @@ impl Member {
         // members may themselves still be joining, so they stay
         // unconfirmed until their first message arrives here.
         self.confirm_peer(from);
+        self.events.push(MemberEvent::Welcomed {
+            ver: self.ver,
+            members: self.view.to_vec(),
+            mgr: self.mgr,
+        });
         ctx.note(Note::ViewInstalled {
             ver: self.ver,
             members: self.view.to_vec(),
@@ -1772,6 +1826,11 @@ impl Node<Msg> for Member {
                 for p in self.topo_monitored.clone() {
                     self.confirm_peer(p);
                 }
+                self.events.push(MemberEvent::ViewInstalled {
+                    ver: 0,
+                    members: self.view.to_vec(),
+                    mgr: self.mgr,
+                });
                 ctx.note(Note::ViewInstalled {
                     ver: 0,
                     members: self.view.to_vec(),

@@ -118,7 +118,7 @@ fn report_throttle_only_holds_in_view_suspects() {
 fn handle_addressed_leases_equal_the_id_addressed_detector() {
     // Gossip off: every survivor must *observe* each crash via its own
     // lease timeout, so the comparison below is never vacuous.
-    let cfg = Config::default().without_gossip();
+    let cfg = Config::builder().gossip(false).build();
     let n = 6;
     let observer = ProcessId(0);
     let mut sim = cluster_with(n, 97, cfg.clone());

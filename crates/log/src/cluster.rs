@@ -1,0 +1,212 @@
+//! Convenience constructors for log-bearing clusters, mirroring
+//! [`gmp_core::ClusterBuilder`].
+
+use crate::client::Client;
+use crate::msg::{AppMsg, LogCmd};
+use crate::node::{LogProc, Replica};
+use crate::replica::ReplicatedLog;
+use gmp_core::{Config, JoinConfig, Member};
+use gmp_sim::{Builder, Sim};
+use gmp_types::{ProcessId, View};
+
+/// Workload and log tuning knobs.
+///
+/// Like [`Config`], construct via [`Default`] and the chained setters;
+/// the struct is `#[non_exhaustive]` so knobs can grow.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct LogConfig {
+    /// Client issue interval (closed loop: next request one interval after
+    /// the previous acknowledgement at the earliest).
+    pub request_every: u64,
+    /// Client resend timeout for unacknowledged requests.
+    pub retry_after: u64,
+    /// Leader batching: max concurrently proposed slots before client
+    /// commands queue.
+    pub max_inflight: usize,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            request_every: 50,
+            retry_after: 300,
+            max_inflight: 8,
+        }
+    }
+}
+
+impl LogConfig {
+    /// Sets the client issue interval.
+    pub fn request_every(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "issue interval must be positive");
+        self.request_every = interval;
+        self
+    }
+
+    /// Sets the client resend timeout.
+    pub fn retry_after(mut self, timeout: u64) -> Self {
+        assert!(timeout > 0, "retry timeout must be positive");
+        self.retry_after = timeout;
+        self
+    }
+
+    /// Sets the leader's in-flight window (batching knob).
+    pub fn max_inflight(mut self, window: usize) -> Self {
+        assert!(window >= 1, "the in-flight window must admit work");
+        self.max_inflight = window;
+        self
+    }
+}
+
+/// Builds a simulator whose processes are `n` log-bearing replicas
+/// (pids `0..n`), then any joiners, then `clients` workload clients.
+///
+/// ```
+/// use gmp_log::LogClusterBuilder;
+/// use gmp_types::ProcessId;
+///
+/// let mut sim = LogClusterBuilder::new(3, 2).seed(7).build();
+/// sim.run_until(5_000);
+/// assert!(sim.node(ProcessId(0)).log().committed_ops() > 0);
+/// ```
+pub struct LogClusterBuilder {
+    n: usize,
+    clients: usize,
+    cfg: Config,
+    log_cfg: LogConfig,
+    joiners: Vec<JoinConfig>,
+    sim: Builder,
+}
+
+impl LogClusterBuilder {
+    /// `n` initial replicas and `clients` clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both counts are at least 1.
+    pub fn new(n: usize, clients: usize) -> Self {
+        assert!(n >= 1, "a group needs at least one member");
+        assert!(clients >= 1, "a workload needs at least one client");
+        LogClusterBuilder {
+            n,
+            clients,
+            cfg: Config::default(),
+            log_cfg: LogConfig::default(),
+            joiners: Vec::new(),
+            sim: Builder::new(),
+        }
+    }
+
+    /// Seeds the simulator (shorthand for a custom [`Builder`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim = self.sim.seed(seed);
+        self
+    }
+
+    /// Replaces the simulator builder wholesale (delays, FIFO mode, …).
+    pub fn sim(mut self, builder: Builder) -> Self {
+        self.sim = builder;
+        self
+    }
+
+    /// Replaces the membership configuration shared by every replica.
+    pub fn config(mut self, cfg: Config) -> Self {
+        assert!(
+            cfg.join.is_none() && cfg.observe.is_none(),
+            "give joiners via LogClusterBuilder::joiner"
+        );
+        self.cfg = cfg;
+        self
+    }
+
+    /// Replaces the workload/log configuration.
+    pub fn log_config(mut self, cfg: LogConfig) -> Self {
+        self.log_cfg = cfg;
+        self
+    }
+
+    /// Adds a late-joining replica (§7 join + log state transfer). Joiner
+    /// pids follow the initial replicas: the k-th call gets pid `n + k`.
+    pub fn joiner(mut self, join: JoinConfig) -> Self {
+        self.joiners.push(join);
+        self
+    }
+
+    /// The pid the next [`joiner`](Self::joiner) call would get.
+    pub fn next_joiner_pid(&self) -> ProcessId {
+        ProcessId((self.n + self.joiners.len()) as u32)
+    }
+
+    /// Builds the simulator with replicas, joiners and clients registered.
+    pub fn build(self) -> Sim<AppMsg, LogProc> {
+        let initial: View = (0..self.n as u32).map(ProcessId).collect();
+        let replicas: Vec<ProcessId> = initial.to_vec();
+        let mut sim = self.sim.build();
+        for _ in 0..self.n {
+            sim.add_node(LogProc::Replica(Box::new(Replica::new(
+                Member::new(self.cfg.clone(), initial.clone()),
+                ReplicatedLog::new(self.log_cfg.max_inflight),
+            ))));
+        }
+        for join in self.joiners {
+            let mut cfg = self.cfg.clone();
+            cfg.join = Some(join);
+            sim.add_node(LogProc::Replica(Box::new(Replica::new(
+                Member::joiner(cfg),
+                ReplicatedLog::new(self.log_cfg.max_inflight),
+            ))));
+        }
+        for k in 0..self.clients {
+            // Stagger first issues so clients don't arrive in lockstep.
+            let first_at = self.log_cfg.request_every + 7 * k as u64;
+            sim.add_node(LogProc::Client(Client::new(
+                replicas.clone(),
+                first_at,
+                self.log_cfg.request_every,
+                self.log_cfg.retry_after,
+            )));
+        }
+        sim
+    }
+}
+
+/// Shorthand: `n` replicas, `clients` clients, defaults everywhere.
+pub fn log_cluster(n: usize, clients: usize, seed: u64) -> Sim<AppMsg, LogProc> {
+    LogClusterBuilder::new(n, clients).seed(seed).build()
+}
+
+/// True when every log in `logs` is a prefix of the longest one — the
+/// safety property E14 gates on: survivors may lag, never diverge.
+pub fn prefix_identical<'a>(logs: impl IntoIterator<Item = &'a [LogCmd]>) -> bool {
+    let mut logs: Vec<&[LogCmd]> = logs.into_iter().collect();
+    logs.sort_by_key(|l| l.len());
+    logs.windows(2).all(|w| w[1].starts_with(w[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(client: u32, seq: u64) -> LogCmd {
+        LogCmd {
+            client: ProcessId(client),
+            seq,
+        }
+    }
+
+    #[test]
+    fn prefix_check_accepts_lagging_survivors() {
+        let a = [cmd(9, 0), cmd(9, 1), cmd(8, 0)];
+        let b = [cmd(9, 0), cmd(9, 1)];
+        let c: [LogCmd; 0] = [];
+        assert!(prefix_identical([&a[..], &b[..], &c[..]]));
+    }
+
+    #[test]
+    fn prefix_check_rejects_divergence() {
+        let a = [cmd(9, 0), cmd(9, 1)];
+        let b = [cmd(9, 0), cmd(8, 0)];
+        assert!(!prefix_identical([&a[..], &b[..]]));
+    }
+}

@@ -1,0 +1,182 @@
+//! Wire format of the replicated log, and the combined envelope that lets
+//! log traffic and membership traffic share one simulated network.
+
+use gmp_core::Msg;
+use gmp_sim::Message;
+use gmp_types::{ProcessId, Ver};
+
+/// A client command. The log stores command *identities*; `(client, seq)`
+/// is unique because each client numbers its own requests. Slot fillers
+/// proposed during leader recovery use [`LogCmd::NOOP`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LogCmd {
+    /// The issuing client (a process outside the group).
+    pub client: ProcessId,
+    /// The client's own request counter, starting at 0.
+    pub seq: u64,
+}
+
+impl LogCmd {
+    /// The no-op filler a recovering leader proposes into slots it cannot
+    /// otherwise fill (classic multipaxos gap handling). Uses the same
+    /// sentinel id space as the membership layer's "unassigned" marker.
+    pub const NOOP: LogCmd = LogCmd {
+        client: ProcessId(u32::MAX),
+        seq: 0,
+    };
+
+    /// True for the recovery filler.
+    pub fn is_noop(&self) -> bool {
+        *self == LogCmd::NOOP
+    }
+}
+
+/// Replicated-log protocol messages.
+///
+/// Ballots are GMP view versions: monotone, agreed, and free — the
+/// membership layer already paid for the agreement. The steady state is
+/// phase-2-only multipaxos (`Accept`/`AcceptOk`/`Decide`); phase 1 exists
+/// as the `Recover` round a new leader runs after a view install.
+#[derive(Clone, Debug)]
+pub enum LogMsg {
+    /// Client → leader: append `cmd` to the log.
+    Request {
+        /// The command to append.
+        cmd: LogCmd,
+    },
+    /// Replica → client: this replica is not the leader; try `leader`.
+    Redirect {
+        /// The replica's current leader belief (its view's `Mgr`).
+        leader: ProcessId,
+    },
+    /// Leader → client: the command with this `seq` committed into `slot`.
+    Reply {
+        /// Echo of the client's request counter.
+        seq: u64,
+        /// The log position the command occupies.
+        slot: u64,
+    },
+    /// Leader → acceptors: accept `cmd` in `slot` at `ballot`.
+    Accept {
+        /// The proposing leader's ballot (its view version).
+        ballot: Ver,
+        /// Log position.
+        slot: u64,
+        /// Proposed command.
+        cmd: LogCmd,
+    },
+    /// Acceptor → leader: accepted.
+    AcceptOk {
+        /// Echo of the accept's ballot.
+        ballot: Ver,
+        /// Echo of the accept's slot.
+        slot: u64,
+    },
+    /// Leader → replicas: `slot` is decided (majority-accepted).
+    Decide {
+        /// Ballot under which the slot was decided.
+        ballot: Ver,
+        /// Log position.
+        slot: u64,
+        /// The decided command.
+        cmd: LogCmd,
+    },
+    /// New leader → view members: report every accepted entry at slot ≥
+    /// `from` (the leader's committed length), so in-flight proposals of
+    /// the dead leader can be re-proposed at `ballot`.
+    Recover {
+        /// The new leader's ballot.
+        ballot: Ver,
+        /// First slot of interest.
+        from: u64,
+    },
+    /// Acceptor → new leader: accepted entries at slot ≥ the recover's
+    /// `from`, as `(slot, ballot, cmd)`.
+    RecoverOk {
+        /// Echo of the recover's ballot.
+        ballot: Ver,
+        /// This acceptor's accepted entries above the requested floor.
+        entries: Vec<(u64, Ver, LogCmd)>,
+    },
+    /// Freshly welcomed member → leader: send me the committed prefix from
+    /// `from` (state transfer for joiners).
+    Sync {
+        /// First slot the joiner is missing (its committed length).
+        from: u64,
+    },
+    /// Leader → joiner: the committed entries from `from`, in slot order,
+    /// as `(deciding ballot, cmd)`.
+    SyncOk {
+        /// Echo of the sync's `from`.
+        from: u64,
+        /// Committed suffix starting at `from`.
+        entries: Vec<(Ver, LogCmd)>,
+    },
+}
+
+impl Message for LogMsg {
+    fn tag(&self) -> &'static str {
+        match self {
+            LogMsg::Request { .. } => "log-request",
+            LogMsg::Redirect { .. } => "log-redirect",
+            LogMsg::Reply { .. } => "log-reply",
+            LogMsg::Accept { .. } => "log-accept",
+            LogMsg::AcceptOk { .. } => "log-accept-ok",
+            LogMsg::Decide { .. } => "log-decide",
+            LogMsg::Recover { .. } => "log-recover",
+            LogMsg::RecoverOk { .. } => "log-recover-ok",
+            LogMsg::Sync { .. } => "log-sync",
+            LogMsg::SyncOk { .. } => "log-sync-ok",
+        }
+    }
+}
+
+/// The combined wire type of a log-bearing cluster: membership protocol
+/// messages and log messages share one network, one trace and one stats
+/// table (log tags are `log-*`-prefixed; [`gmp_core::PROTOCOL_TAGS`] keeps
+/// counting only the membership side).
+#[derive(Clone, Debug)]
+pub enum AppMsg {
+    /// A membership-protocol message, delivered to the embedded [`Member`]
+    /// (see [`Ctx::embedded`](gmp_sim::Ctx::embedded)).
+    ///
+    /// [`Member`]: gmp_core::Member
+    Gmp(Msg),
+    /// A replicated-log message, delivered to the [`ReplicatedLog`]
+    /// (replicas) or the [`Client`](crate::Client).
+    ///
+    /// [`ReplicatedLog`]: crate::ReplicatedLog
+    Log(LogMsg),
+}
+
+impl Message for AppMsg {
+    fn tag(&self) -> &'static str {
+        match self {
+            AppMsg::Gmp(m) => m.tag(),
+            AppMsg::Log(m) => m.tag(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_not_a_client_command() {
+        assert!(LogCmd::NOOP.is_noop());
+        assert!(!LogCmd {
+            client: ProcessId(3),
+            seq: 0
+        }
+        .is_noop());
+    }
+
+    #[test]
+    fn tags_delegate_through_the_envelope() {
+        let m = AppMsg::Log(LogMsg::Sync { from: 0 });
+        assert_eq!(m.tag(), "log-sync");
+        let m = AppMsg::Gmp(Msg::Interrogate);
+        assert_eq!(m.tag(), "interrogate");
+    }
+}

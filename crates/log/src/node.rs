@@ -1,0 +1,135 @@
+//! The composite simulator node: a [`Member`] and a [`ReplicatedLog`] in
+//! one process, or a [`Client`] outside the group.
+//!
+//! The replica hosts the membership state machine through
+//! [`Ctx::embedded`]: membership messages and timers are handed to the
+//! embedded [`Member`] unchanged (its sends come back out wrapped in
+//! [`AppMsg::Gmp`]), and after *every* member interaction the replica
+//! pumps the drained [`MemberEvent`](gmp_core::MemberEvent)s into the log and flushes the log's
+//! outbox onto the wire. Timer tags route by value: the membership layer
+//! owns tags 1–3, the client loop uses its own; the log itself is purely
+//! message- and event-driven and needs no timers.
+
+use crate::client::Client;
+use crate::msg::{AppMsg, LogMsg};
+use crate::replica::ReplicatedLog;
+use gmp_core::{Member, Msg};
+use gmp_sim::{Ctx, Node};
+use gmp_types::ProcessId;
+
+/// A group member with a replicated log riding on its views.
+pub struct Replica {
+    /// The membership layer.
+    pub member: Member,
+    /// The log layer, subscribed to the member's events.
+    pub log: ReplicatedLog,
+}
+
+impl Replica {
+    /// Couples a member (initial or joiner) with a fresh log.
+    pub fn new(member: Member, log: ReplicatedLog) -> Self {
+        Replica { member, log }
+    }
+
+    /// Runs `f` against the embedded member, then pumps its events into
+    /// the log and the log's outbox onto the wire.
+    fn with_member(
+        &mut self,
+        ctx: &mut Ctx<'_, AppMsg>,
+        f: impl FnOnce(&mut Member, &mut Ctx<'_, Msg>),
+    ) {
+        let member = &mut self.member;
+        ctx.embedded(AppMsg::Gmp, |inner| f(member, inner));
+        self.pump(ctx);
+    }
+
+    /// Event/outbox pump. Member handlers only ever *push* events, and the
+    /// log only ever *consumes* them, so one pass settles everything.
+    fn pump(&mut self, ctx: &mut Ctx<'_, AppMsg>) {
+        let now = ctx.now();
+        for ev in self.member.take_events() {
+            self.log.on_member_event(ev, now);
+        }
+        for (to, m) in self.log.take_outbox() {
+            ctx.send(to, AppMsg::Log(m));
+        }
+    }
+
+    fn on_log_message(&mut self, ctx: &mut Ctx<'_, AppMsg>, from: ProcessId, msg: LogMsg) {
+        self.log.on_message(from, msg, ctx.now());
+        for (to, m) in self.log.take_outbox() {
+            ctx.send(to, AppMsg::Log(m));
+        }
+    }
+}
+
+/// A process of a log-bearing cluster.
+pub enum LogProc {
+    /// A group member carrying the log (boxed: the member + log pair is
+    /// much larger than the client).
+    Replica(Box<Replica>),
+    /// A workload client outside the group.
+    Client(Client),
+}
+
+impl LogProc {
+    /// The replica's log, for post-run inspection. Panics on a client.
+    pub fn log(&self) -> &ReplicatedLog {
+        match self {
+            LogProc::Replica(r) => &r.log,
+            LogProc::Client(_) => panic!("clients carry no log"),
+        }
+    }
+
+    /// The replica's member, for post-run inspection. Panics on a client.
+    pub fn member(&self) -> &Member {
+        match self {
+            LogProc::Replica(r) => &r.member,
+            LogProc::Client(_) => panic!("clients carry no member"),
+        }
+    }
+
+    /// The client, for post-run inspection. Panics on a replica.
+    pub fn client(&self) -> &Client {
+        match self {
+            LogProc::Client(c) => c,
+            LogProc::Replica(_) => panic!("replicas are not clients"),
+        }
+    }
+
+    /// True for replicas (members and joiners), false for clients.
+    pub fn is_replica(&self) -> bool {
+        matches!(self, LogProc::Replica(_))
+    }
+}
+
+impl Node<AppMsg> for LogProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, AppMsg>) {
+        match self {
+            LogProc::Replica(r) => {
+                r.log.bind(ctx.id());
+                r.with_member(ctx, |m, c| m.on_start(c));
+            }
+            LogProc::Client(c) => c.on_start(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, AppMsg>, from: ProcessId, msg: AppMsg) {
+        match (self, msg) {
+            (LogProc::Replica(r), AppMsg::Gmp(m)) => {
+                r.with_member(ctx, |mem, c| mem.on_message(c, from, m));
+            }
+            (LogProc::Replica(r), AppMsg::Log(m)) => r.on_log_message(ctx, from, m),
+            (LogProc::Client(c), AppMsg::Log(m)) => c.on_message(ctx, from, m),
+            (LogProc::Client(_), AppMsg::Gmp(_)) => {} // stray; clients speak log only
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, AppMsg>, tag: u64) {
+        match self {
+            // All replica timers belong to the membership layer.
+            LogProc::Replica(r) => r.with_member(ctx, |m, c| m.on_timer(c, tag)),
+            LogProc::Client(c) => c.on_timer(ctx, tag),
+        }
+    }
+}

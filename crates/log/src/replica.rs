@@ -1,0 +1,808 @@
+//! The replicated-log state machine: multipaxos with GMP as the
+//! reconfiguration and leader-election oracle.
+//!
+//! # How the membership layer is used
+//!
+//! | multipaxos concept | provided by GMP |
+//! |---|---|
+//! | configuration / epoch | the installed view |
+//! | ballot number | the view version `ver` (monotone, agreed) |
+//! | leader | the view's coordinator `Mgr` |
+//! | quorum | the view majority (`⌊n/2⌋ + 1`) |
+//! | leader election / phase 1 trigger | [`MemberEvent::ViewInstalled`] |
+//! | failure notice | [`MemberEvent::PeerSuspected`] |
+//!
+//! The steady state is phase-2-only: the leader assigns slots in order and
+//! broadcasts `Accept`; a view-majority of `AcceptOk`s (the leader counts
+//! itself) decides the slot, the leader answers the client and broadcasts
+//! `Decide`. Because proposals go out in ascending slot order over FIFO
+//! links, decisions also arrive in order and the applied prefix never
+//! holds holes for long.
+//!
+//! On every view install where this process is `Mgr` it (re)runs the
+//! **recovery round** — multipaxos phase 1 at ballot = the new `ver`: ask
+//! every view member for accepted entries above the committed prefix,
+//! adopt the highest-ballot value per slot, fill true gaps with no-ops,
+//! and re-propose the lot before serving new client traffic. That is what
+//! makes leader failover safe: anything the dead leader may have committed
+//! survives in the accepted sets of a majority, and the new view (minus
+//! the excluded members) still intersects it whenever the group itself
+//! stayed a majority — the same bound the membership layer already lives
+//! under (Fig. 8's `μ_Mgr`).
+//!
+//! The state machine is sans-IO like [`Member`](gmp_core::Member):
+//! handlers mutate state and push outbound messages into an outbox the
+//! hosting [`Replica`](crate::Replica) node drains into the simulator.
+
+use crate::msg::{LogCmd, LogMsg};
+use gmp_core::MemberEvent;
+use gmp_types::{ProcessId, Ver};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Simulated-time alias (mirrors `gmp_sim::Time`).
+type Time = u64;
+
+/// Leader-only state.
+#[derive(Clone, Debug)]
+struct LeaderState {
+    /// Our ballot: the version of the view that made us `Mgr`.
+    ballot: Ver,
+    /// Next unproposed slot.
+    next_slot: u64,
+    /// Client commands admitted but not yet proposed (recovery in
+    /// progress, or the in-flight window is full).
+    queue: VecDeque<LogCmd>,
+    /// Proposed, awaiting a quorum of `AcceptOk`s. Keyed by slot.
+    in_flight: BTreeMap<u64, Accepting>,
+    /// The recovery round, while it runs. `None` once steady-state.
+    recovery: Option<Recovery>,
+}
+
+/// One in-flight proposal.
+#[derive(Clone, Debug)]
+struct Accepting {
+    cmd: LogCmd,
+    /// Acceptors that answered `AcceptOk` (the leader counts itself
+    /// implicitly).
+    oks: BTreeSet<ProcessId>,
+}
+
+/// Recovery-round bookkeeping (phase 1 at the new ballot).
+#[derive(Clone, Debug)]
+struct Recovery {
+    /// View members whose `RecoverOk` is still awaited.
+    pending: BTreeSet<ProcessId>,
+    /// Highest-ballot accepted entry reported per slot.
+    found: BTreeMap<u64, (Ver, LogCmd)>,
+}
+
+/// The per-process replicated-log state machine. Embed one next to a
+/// [`Member`](gmp_core::Member) (the [`Replica`](crate::Replica) node does
+/// this) and feed it the member's drained events plus incoming [`LogMsg`]s.
+#[derive(Clone, Debug)]
+pub struct ReplicatedLog {
+    me: ProcessId,
+    /// Members of the current view (the acceptor set), seniority order.
+    view: Vec<ProcessId>,
+    /// Version of the current view.
+    ver: Ver,
+    /// Current leader belief: the view's `Mgr`.
+    leader: Option<ProcessId>,
+    /// Highest ballot promised: max of every installed version and every
+    /// ballot accepted from. Accepts below it are stale and ignored.
+    promised: Ver,
+    /// Accepted entries, never pruned below by lower ballots: `slot →
+    /// (ballot, cmd)`. Recovery reads this.
+    accepted: BTreeMap<u64, (Ver, LogCmd)>,
+    /// Decided entries not yet contiguous with the applied prefix.
+    parked: BTreeMap<u64, (Ver, LogCmd)>,
+    /// The applied log: `committed[i]` is slot `i`'s command.
+    committed: Vec<LogCmd>,
+    /// Ballot under which each applied slot was decided.
+    ballots: Vec<Ver>,
+    /// Local simulated time each slot was applied.
+    applied_at: Vec<Time>,
+    /// Slot of each applied client command (for duplicate replies).
+    by_cmd: BTreeMap<LogCmd, u64>,
+    /// Client of record per in-flight command (answered on decide).
+    /// Leader-side dedup: every admitted command identity (queued,
+    /// in-flight or applied).
+    admitted: BTreeSet<LogCmd>,
+    /// Processes the membership layer currently suspects.
+    suspected: BTreeSet<ProcessId>,
+    /// Leader-only state, while this process is `Mgr`.
+    lead: Option<LeaderState>,
+    /// Max in-flight proposals before client commands wait in the queue
+    /// (the batching knob of [`LogConfig`](crate::LogConfig)).
+    max_inflight: usize,
+    /// True between activation (initial view / welcome) and quit.
+    active: bool,
+    /// Outbound messages, drained by the hosting node.
+    outbox: Vec<(ProcessId, LogMsg)>,
+}
+
+impl ReplicatedLog {
+    /// A blank log for a process that will learn its identity and view
+    /// from its member's events. `max_inflight` caps concurrently proposed
+    /// slots (≥ 1).
+    pub fn new(max_inflight: usize) -> Self {
+        assert!(max_inflight >= 1, "the in-flight window must admit work");
+        ReplicatedLog {
+            me: ProcessId(u32::MAX),
+            view: Vec::new(),
+            ver: 0,
+            leader: None,
+            promised: 0,
+            accepted: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            committed: Vec::new(),
+            ballots: Vec::new(),
+            applied_at: Vec::new(),
+            by_cmd: BTreeMap::new(),
+            admitted: BTreeSet::new(),
+            suspected: BTreeSet::new(),
+            lead: None,
+            max_inflight,
+            active: false,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Binds this log to its process id (called by the hosting node at
+    /// start, before any event is fed).
+    pub fn bind(&mut self, me: ProcessId) {
+        self.me = me;
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// The applied log, in slot order (including no-op fillers).
+    pub fn committed(&self) -> &[LogCmd] {
+        &self.committed
+    }
+
+    /// Ballot under which each applied slot was decided (parallel to
+    /// [`committed`](Self::committed)).
+    pub fn ballots(&self) -> &[Ver] {
+        &self.ballots
+    }
+
+    /// Local simulated time each applied slot was applied (parallel to
+    /// [`committed`](Self::committed)).
+    pub fn applied_at(&self) -> &[Time] {
+        &self.applied_at
+    }
+
+    /// True while this process believes itself leader.
+    pub fn is_leader(&self) -> bool {
+        self.lead.is_some()
+    }
+
+    /// The current leader belief (the view's `Mgr`), once a view is known.
+    pub fn leader(&self) -> Option<ProcessId> {
+        self.leader
+    }
+
+    /// Applied client operations, no-op fillers excluded.
+    pub fn committed_ops(&self) -> usize {
+        self.committed.iter().filter(|c| !c.is_noop()).count()
+    }
+
+    /// Drains the outbound messages queued by the last handler call.
+    pub fn take_outbox(&mut self) -> Vec<(ProcessId, LogMsg)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    // ------------------------------------------------------------------
+    // Membership events
+    // ------------------------------------------------------------------
+
+    /// Feeds one membership transition. The hosting node calls this with
+    /// everything `Member::take_events` drained, in order.
+    pub fn on_member_event(&mut self, ev: MemberEvent, now: Time) {
+        match ev {
+            MemberEvent::ViewInstalled { ver, members, mgr }
+            | MemberEvent::Welcomed { ver, members, mgr } => {
+                let welcomed = !self.active;
+                self.active = true;
+                self.view = members;
+                self.ver = ver;
+                self.promised = self.promised.max(ver);
+                self.leader = Some(mgr);
+                self.suspected.retain(|p| self.view.contains(p));
+                if mgr == self.me {
+                    self.become_leader(ver, now);
+                } else {
+                    // Demotion (or follower continuation): any in-flight
+                    // proposals are the new leader's problem now — its
+                    // recovery round reads them out of our accepted set.
+                    self.lead = None;
+                    if welcomed {
+                        // Joiner state transfer: ask the leader for the
+                        // committed prefix we missed. Decides from now on
+                        // reach us directly (we are in the view the leader
+                        // broadcasts to); `SyncOk` fills everything before.
+                        self.outbox.push((
+                            mgr,
+                            LogMsg::Sync {
+                                from: self.committed.len() as u64,
+                            },
+                        ));
+                    }
+                }
+            }
+            MemberEvent::PeerSuspected { peer, .. } => {
+                self.suspected.insert(peer);
+                // A suspect will never answer: stop awaiting its recovery
+                // response. (In-flight accepts keep counting toward the
+                // *view* majority — the next view install re-proposes them
+                // if the quorum died.)
+                if let Some(lead) = &mut self.lead {
+                    if let Some(rec) = &mut lead.recovery {
+                        rec.pending.remove(&peer);
+                    }
+                }
+                self.finish_recovery_if_ready(now);
+            }
+            MemberEvent::PeerExcluded { .. } => {
+                // The matching ViewInstalled (next event) carries the new
+                // view; nothing to do on the exclusion itself.
+            }
+            MemberEvent::Quit { .. } => {
+                self.active = false;
+                self.lead = None;
+            }
+            // `MemberEvent` is non_exhaustive: future kinds don't concern
+            // the log until someone teaches it otherwise.
+            _ => {}
+        }
+    }
+
+    /// Starts (or restarts) leading at `ballot`. Re-entered on *every*
+    /// view install that leaves us `Mgr`: the recovery round is idempotent
+    /// and re-proposing at the newest ballot is exactly what un-wedges
+    /// slots whose quorum died mid-accept.
+    fn become_leader(&mut self, ballot: Ver, now: Time) {
+        let mut queue = match self.lead.take() {
+            // Keep admitted-but-unserved client work across re-elections.
+            Some(prev) => prev.queue,
+            None => VecDeque::new(),
+        };
+        // …minus anything a leader in between already committed (the
+        // client resubmitted it there while we were a follower).
+        queue.retain(|c| !self.by_cmd.contains_key(c));
+        let pending: BTreeSet<ProcessId> = self
+            .view
+            .iter()
+            .filter(|&&p| p != self.me && !self.suspected.contains(&p))
+            .copied()
+            .collect();
+        self.lead = Some(LeaderState {
+            ballot,
+            next_slot: self.committed.len() as u64,
+            queue,
+            in_flight: BTreeMap::new(),
+            recovery: Some(Recovery {
+                pending,
+                found: BTreeMap::new(),
+            }),
+        });
+        let from = self.committed.len() as u64;
+        let peers: Vec<ProcessId> = self
+            .view
+            .iter()
+            .filter(|&&p| p != self.me)
+            .copied()
+            .collect();
+        for p in peers {
+            self.outbox.push((p, LogMsg::Recover { ballot, from }));
+        }
+        // A solitary (or fully-suspicious) leader recovers from its own
+        // accepted set alone.
+        self.finish_recovery_if_ready(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Log messages
+    // ------------------------------------------------------------------
+
+    /// Handles one incoming log message.
+    pub fn on_message(&mut self, from: ProcessId, msg: LogMsg, now: Time) {
+        if !self.active {
+            return;
+        }
+        match msg {
+            LogMsg::Request { cmd } => self.on_request(from, cmd, now),
+            LogMsg::Accept { ballot, slot, cmd } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    self.accepted.insert(slot, (ballot, cmd));
+                    self.outbox.push((from, LogMsg::AcceptOk { ballot, slot }));
+                }
+            }
+            LogMsg::AcceptOk { ballot, slot } => self.on_accept_ok(from, ballot, slot, now),
+            LogMsg::Decide { ballot, slot, cmd } => {
+                self.learn(slot, ballot, cmd);
+                self.apply_contiguous(now);
+            }
+            LogMsg::Recover {
+                ballot,
+                from: floor,
+            } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    let entries: Vec<(u64, Ver, LogCmd)> = self
+                        .accepted
+                        .range(floor..)
+                        .map(|(&s, &(b, c))| (s, b, c))
+                        .collect();
+                    self.outbox
+                        .push((from, LogMsg::RecoverOk { ballot, entries }));
+                }
+            }
+            LogMsg::RecoverOk { ballot, entries } => {
+                let Some(lead) = &mut self.lead else { return };
+                if lead.ballot != ballot {
+                    return; // stale round
+                }
+                let Some(rec) = &mut lead.recovery else {
+                    return;
+                };
+                for (slot, b, cmd) in entries {
+                    match rec.found.get(&slot) {
+                        Some(&(have, _)) if have >= b => {}
+                        _ => {
+                            rec.found.insert(slot, (b, cmd));
+                        }
+                    }
+                }
+                rec.pending.remove(&from);
+                self.finish_recovery_if_ready(now);
+            }
+            LogMsg::Sync { from: floor } => {
+                let entries: Vec<(Ver, LogCmd)> = (floor as usize..self.committed.len())
+                    .map(|i| (self.ballots[i], self.committed[i]))
+                    .collect();
+                self.outbox.push((
+                    from,
+                    LogMsg::SyncOk {
+                        from: floor,
+                        entries,
+                    },
+                ));
+            }
+            LogMsg::SyncOk {
+                from: floor,
+                entries,
+            } => {
+                for (i, (b, cmd)) in entries.into_iter().enumerate() {
+                    self.learn(floor + i as u64, b, cmd);
+                }
+                self.apply_contiguous(now);
+            }
+            // Client-side messages; replicas ignore strays.
+            LogMsg::Redirect { .. } | LogMsg::Reply { .. } => {}
+        }
+    }
+
+    fn on_request(&mut self, client: ProcessId, cmd: LogCmd, now: Time) {
+        if self.lead.is_none() {
+            // Not the leader: point the client at our belief (silence
+            // would also work — clients retry — but the hint is what makes
+            // failover latency a round trip instead of a timeout).
+            if let Some(l) = self.leader {
+                if l != self.me {
+                    self.outbox.push((client, LogMsg::Redirect { leader: l }));
+                }
+            }
+            return;
+        }
+        if let Some(&slot) = self.by_cmd.get(&cmd) {
+            // Committed duplicate (client re-sent across a failover the
+            // first reply did not survive): answer from the log.
+            self.outbox
+                .push((client, LogMsg::Reply { seq: cmd.seq, slot }));
+            return;
+        }
+        if self.admitted.contains(&cmd) {
+            return; // queued or in flight; the decide will answer
+        }
+        self.admitted.insert(cmd);
+        let lead = self.lead.as_mut().expect("leader checked above");
+        lead.queue.push_back(cmd);
+        self.propose_queued(now);
+    }
+
+    fn on_accept_ok(&mut self, from: ProcessId, ballot: Ver, slot: u64, now: Time) {
+        let quorum = self.quorum();
+        let Some(lead) = &mut self.lead else { return };
+        if lead.ballot != ballot {
+            return;
+        }
+        let Some(acc) = lead.in_flight.get_mut(&slot) else {
+            return; // already decided (or never ours)
+        };
+        acc.oks.insert(from);
+        // +1: the leader accepted its own proposal at propose time.
+        if acc.oks.len() + 1 >= quorum {
+            let cmd = acc.cmd;
+            lead.in_flight.remove(&slot);
+            self.decide(slot, ballot, cmd, now);
+        }
+    }
+
+    /// Commits `slot`: record, broadcast `Decide`, answer the client, and
+    /// let follow-on queued work into the freed in-flight window.
+    fn decide(&mut self, slot: u64, ballot: Ver, cmd: LogCmd, now: Time) {
+        self.learn(slot, ballot, cmd);
+        let peers: Vec<ProcessId> = self
+            .view
+            .iter()
+            .filter(|&&p| p != self.me)
+            .copied()
+            .collect();
+        for p in peers {
+            self.outbox.push((p, LogMsg::Decide { ballot, slot, cmd }));
+        }
+        if !cmd.is_noop() {
+            self.outbox
+                .push((cmd.client, LogMsg::Reply { seq: cmd.seq, slot }));
+        }
+        self.apply_contiguous(now);
+        self.propose_queued(now);
+    }
+
+    /// Records a decided entry (idempotent; decides imply accepts so the
+    /// entry also feeds later recoveries).
+    fn learn(&mut self, slot: u64, ballot: Ver, cmd: LogCmd) {
+        if (slot as usize) < self.committed.len() {
+            return; // already applied
+        }
+        self.accepted.insert(slot, (ballot, cmd));
+        self.parked.insert(slot, (ballot, cmd));
+    }
+
+    /// Applies every parked decision contiguous with the applied prefix.
+    fn apply_contiguous(&mut self, now: Time) {
+        while let Some(&(ballot, cmd)) = self.parked.get(&(self.committed.len() as u64)) {
+            let slot = self.committed.len() as u64;
+            self.parked.remove(&slot);
+            self.committed.push(cmd);
+            self.ballots.push(ballot);
+            self.applied_at.push(now);
+            if !cmd.is_noop() {
+                self.by_cmd.insert(cmd, slot);
+            }
+        }
+    }
+
+    /// The view majority, acceptor quorum of every ballot.
+    fn quorum(&self) -> usize {
+        self.view.len() / 2 + 1
+    }
+
+    /// Completes the recovery round once every awaited response is in:
+    /// adopt the highest-ballot entry per slot, fill gaps with no-ops,
+    /// re-propose everything above the committed prefix, then serve the
+    /// queue.
+    fn finish_recovery_if_ready(&mut self, now: Time) {
+        let Some(lead) = &mut self.lead else { return };
+        let Some(rec) = &mut lead.recovery else {
+            return;
+        };
+        if !rec.pending.is_empty() {
+            return;
+        }
+        let ballot = lead.ballot;
+        let floor = self.committed.len() as u64;
+        let mut chosen = std::mem::take(&mut rec.found);
+        lead.recovery = None;
+        // Our own accepted set is a recovery response like any other.
+        for (&slot, &(b, cmd)) in self.accepted.range(floor..) {
+            match chosen.get(&slot) {
+                Some(&(have, _)) if have >= b => {}
+                _ => {
+                    chosen.insert(slot, (b, cmd));
+                }
+            }
+        }
+        if let Some((&top, _)) = chosen.iter().next_back() {
+            let slots: Vec<u64> = (floor..=top).collect();
+            for slot in slots {
+                let cmd = chosen.get(&slot).map(|&(_, c)| c).unwrap_or(LogCmd::NOOP);
+                self.admitted.insert(cmd);
+                self.propose(slot, ballot, cmd, now);
+            }
+            if let Some(lead) = &mut self.lead {
+                lead.next_slot = top + 1;
+            }
+        }
+        self.propose_queued(now);
+    }
+
+    /// Moves queued client commands into the in-flight window.
+    fn propose_queued(&mut self, now: Time) {
+        loop {
+            let Some(lead) = &mut self.lead else { return };
+            if lead.recovery.is_some() || lead.in_flight.len() >= self.max_inflight {
+                return;
+            }
+            let Some(cmd) = lead.queue.pop_front() else {
+                return;
+            };
+            let slot = lead.next_slot;
+            lead.next_slot += 1;
+            let ballot = lead.ballot;
+            self.propose(slot, ballot, cmd, now);
+        }
+    }
+
+    /// Proposes `cmd` into `slot`: self-accept, broadcast `Accept`, and —
+    /// in the degenerate single-member view — decide on the spot.
+    fn propose(&mut self, slot: u64, ballot: Ver, cmd: LogCmd, now: Time) {
+        self.promised = self.promised.max(ballot);
+        self.accepted.insert(slot, (ballot, cmd));
+        let Some(lead) = &mut self.lead else { return };
+        lead.in_flight.insert(
+            slot,
+            Accepting {
+                cmd,
+                oks: BTreeSet::new(),
+            },
+        );
+        let peers: Vec<ProcessId> = self
+            .view
+            .iter()
+            .filter(|&&p| p != self.me)
+            .copied()
+            .collect();
+        for p in peers {
+            self.outbox.push((p, LogMsg::Accept { ballot, slot, cmd }));
+        }
+        if self.quorum() == 1 {
+            let Some(lead) = &mut self.lead else { return };
+            lead.in_flight.remove(&slot);
+            self.decide(slot, ballot, cmd, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view3() -> Vec<ProcessId> {
+        vec![ProcessId(0), ProcessId(1), ProcessId(2)]
+    }
+
+    fn installed(log: &mut ReplicatedLog, ver: Ver, mgr: u32) {
+        log.on_member_event(
+            MemberEvent::ViewInstalled {
+                ver,
+                members: view3(),
+                mgr: ProcessId(mgr),
+            },
+            0,
+        );
+    }
+
+    fn cmd(client: u32, seq: u64) -> LogCmd {
+        LogCmd {
+            client: ProcessId(client),
+            seq,
+        }
+    }
+
+    #[test]
+    fn leader_recovers_then_serves() {
+        let mut log = ReplicatedLog::new(8);
+        log.bind(ProcessId(0));
+        installed(&mut log, 0, 0);
+        // Recovery round goes out to both peers…
+        let out = log.take_outbox();
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0].1, LogMsg::Recover { ballot: 0, from: 0 }));
+        // …and no client work is served until it answers.
+        log.on_message(ProcessId(9), LogMsg::Request { cmd: cmd(9, 0) }, 1);
+        assert!(log.take_outbox().is_empty());
+        for p in [1, 2] {
+            log.on_message(
+                ProcessId(p),
+                LogMsg::RecoverOk {
+                    ballot: 0,
+                    entries: vec![],
+                },
+                2,
+            );
+        }
+        let out = log.take_outbox();
+        // Accept for slot 0 to both peers.
+        assert_eq!(out.len(), 2);
+        assert!(matches!(
+            out[0].1,
+            LogMsg::Accept {
+                ballot: 0,
+                slot: 0,
+                ..
+            }
+        ));
+        // One AcceptOk + self = 2 of 3: decided, replied, applied.
+        log.on_message(ProcessId(1), LogMsg::AcceptOk { ballot: 0, slot: 0 }, 3);
+        let out = log.take_outbox();
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == ProcessId(9) && matches!(m, LogMsg::Reply { seq: 0, slot: 0 })));
+        assert_eq!(log.committed(), &[cmd(9, 0)]);
+        assert_eq!(log.committed_ops(), 1);
+    }
+
+    #[test]
+    fn acceptor_rejects_stale_ballots() {
+        let mut log = ReplicatedLog::new(8);
+        log.bind(ProcessId(1));
+        installed(&mut log, 0, 0);
+        log.take_outbox();
+        // A view install at ver 2 raises the promise…
+        installed(&mut log, 2, 0);
+        log.take_outbox();
+        // …so a ballot-1 accept is ignored.
+        log.on_message(
+            ProcessId(0),
+            LogMsg::Accept {
+                ballot: 1,
+                slot: 0,
+                cmd: cmd(9, 0),
+            },
+            5,
+        );
+        assert!(log.take_outbox().is_empty());
+        log.on_message(
+            ProcessId(0),
+            LogMsg::Accept {
+                ballot: 2,
+                slot: 0,
+                cmd: cmd(9, 0),
+            },
+            6,
+        );
+        assert!(matches!(
+            log.take_outbox().as_slice(),
+            [(ProcessId(0), LogMsg::AcceptOk { ballot: 2, slot: 0 })]
+        ));
+    }
+
+    #[test]
+    fn recovery_adopts_highest_ballot_and_fills_gaps() {
+        let mut log = ReplicatedLog::new(8);
+        log.bind(ProcessId(1));
+        // Follower first: accept slot 1 (not 0) at ballot 0 from the old
+        // leader, then take over at ver 1.
+        installed(&mut log, 0, 0);
+        log.take_outbox();
+        log.on_message(
+            ProcessId(0),
+            LogMsg::Accept {
+                ballot: 0,
+                slot: 1,
+                cmd: cmd(9, 1),
+            },
+            5,
+        );
+        log.take_outbox();
+        let members = vec![ProcessId(1), ProcessId(2)];
+        log.on_member_event(
+            MemberEvent::ViewInstalled {
+                ver: 1,
+                members,
+                mgr: ProcessId(1),
+            },
+            10,
+        );
+        log.take_outbox();
+        // The peer reports a higher-ballot value for slot 1 — adopted.
+        log.on_message(
+            ProcessId(2),
+            LogMsg::RecoverOk {
+                ballot: 1,
+                entries: vec![(1, 1, cmd(8, 4))],
+            },
+            11,
+        );
+        let out = log.take_outbox();
+        let accepts: Vec<_> = out
+            .iter()
+            .filter_map(|(_, m)| match m {
+                LogMsg::Accept { slot, cmd, .. } => Some((*slot, *cmd)),
+                _ => None,
+            })
+            .collect();
+        // Slot 0 was a hole → no-op; slot 1 re-proposed with the adopted value.
+        assert_eq!(accepts, vec![(0, LogCmd::NOOP), (1, cmd(8, 4))]);
+        // The 2-member view decides with the peer's ok.
+        log.on_message(ProcessId(2), LogMsg::AcceptOk { ballot: 1, slot: 0 }, 12);
+        log.on_message(ProcessId(2), LogMsg::AcceptOk { ballot: 1, slot: 1 }, 12);
+        assert_eq!(log.committed(), &[LogCmd::NOOP, cmd(8, 4)]);
+        assert_eq!(log.committed_ops(), 1);
+        assert_eq!(log.ballots(), &[1, 1]);
+    }
+
+    #[test]
+    fn duplicate_requests_answer_from_the_log() {
+        let mut log = ReplicatedLog::new(8);
+        log.bind(ProcessId(0));
+        installed(&mut log, 0, 0);
+        log.take_outbox();
+        for p in [1, 2] {
+            log.on_message(
+                ProcessId(p),
+                LogMsg::RecoverOk {
+                    ballot: 0,
+                    entries: vec![],
+                },
+                1,
+            );
+        }
+        log.take_outbox();
+        log.on_message(ProcessId(9), LogMsg::Request { cmd: cmd(9, 0) }, 2);
+        log.take_outbox();
+        log.on_message(ProcessId(1), LogMsg::AcceptOk { ballot: 0, slot: 0 }, 3);
+        log.take_outbox();
+        // Same command again: replied immediately, not re-proposed.
+        log.on_message(ProcessId(9), LogMsg::Request { cmd: cmd(9, 0) }, 4);
+        let out = log.take_outbox();
+        assert!(matches!(
+            out.as_slice(),
+            [(ProcessId(9), LogMsg::Reply { seq: 0, slot: 0 })]
+        ));
+        assert_eq!(log.committed().len(), 1);
+    }
+
+    #[test]
+    fn followers_redirect_clients() {
+        let mut log = ReplicatedLog::new(8);
+        log.bind(ProcessId(1));
+        installed(&mut log, 0, 0);
+        log.take_outbox();
+        log.on_message(ProcessId(9), LogMsg::Request { cmd: cmd(9, 0) }, 1);
+        assert!(matches!(
+            log.take_outbox().as_slice(),
+            [(
+                ProcessId(9),
+                LogMsg::Redirect {
+                    leader: ProcessId(0)
+                }
+            )]
+        ));
+    }
+
+    #[test]
+    fn out_of_order_decides_apply_contiguously() {
+        let mut log = ReplicatedLog::new(8);
+        log.bind(ProcessId(2));
+        installed(&mut log, 0, 0);
+        log.take_outbox();
+        log.on_message(
+            ProcessId(0),
+            LogMsg::Decide {
+                ballot: 0,
+                slot: 1,
+                cmd: cmd(9, 1),
+            },
+            5,
+        );
+        assert!(log.committed().is_empty());
+        log.on_message(
+            ProcessId(0),
+            LogMsg::Decide {
+                ballot: 0,
+                slot: 0,
+                cmd: cmd(9, 0),
+            },
+            6,
+        );
+        assert_eq!(log.committed(), &[cmd(9, 0), cmd(9, 1)]);
+        assert_eq!(log.applied_at(), &[6, 6]);
+    }
+}

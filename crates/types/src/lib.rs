@@ -25,7 +25,7 @@ pub mod note;
 pub mod view;
 
 pub use arena::{Arena, Gen, PeerIdx, PeerRef, PeerRoster, PeerSlot};
-pub use note::{FaultySource, Note};
+pub use note::{FaultySource, Note, QuitReason};
 pub use view::View;
 
 use std::fmt;

@@ -13,7 +13,7 @@ use gmp::protocol::{cluster_with, Config, Hierarchical};
 use gmp::types::ProcessId;
 
 fn main() {
-    let cfg = Config::default().topology(Hierarchical::new(4));
+    let cfg = Config::builder().topology(Hierarchical::new(4)).build();
     let mut sim = cluster_with(12, 64, cfg);
 
     // p7 is a *non-leader* in the middle group: only p4..p7 monitor it

@@ -13,7 +13,7 @@ use gmp::protocol::{cluster_with, Config, Sparse};
 use gmp::types::ProcessId;
 
 fn main() {
-    let cfg = Config::default().topology(Sparse::new(4));
+    let cfg = Config::builder().topology(Sparse::new(4)).build();
     let mut sim = cluster_with(16, 7, cfg);
 
     sim.crash_at(ProcessId(9), 500);

@@ -19,13 +19,17 @@
 //!   properties over recorded runs, plus the epistemic analysis of the
 //!   appendix;
 //! * [`baselines`] — the protocols the paper proves insufficient or
-//!   expensive (one-phase, two-phase reconfiguration, symmetric).
+//!   expensive (one-phase, two-phase reconfiguration, symmetric);
+//! * [`log`] — a multipaxos-style replicated log riding on the membership
+//!   service: the `Mgr` leads, view versions are ballots, view installs
+//!   are reconfigurations.
+//!
+//! Most programs only need the [`prelude`].
 //!
 //! # Example
 //!
 //! ```
-//! use gmp::protocol::cluster;
-//! use gmp::types::ProcessId;
+//! use gmp::prelude::*;
 //!
 //! let mut sim = cluster(5, 42);
 //! sim.crash_at(ProcessId(4), 300);
@@ -39,6 +43,30 @@ pub use gmp_causality as causality;
 pub use gmp_core as protocol;
 pub use gmp_detect as detect;
 pub use gmp_link as link;
+pub use gmp_log as log;
 pub use gmp_props as props;
 pub use gmp_sim as sim;
 pub use gmp_types as types;
+
+/// The stable surface, one `use` away.
+///
+/// ```
+/// use gmp::prelude::*;
+///
+/// let cfg = ConfigBuilder::default().timing(80, 120).build();
+/// let mut sim = ClusterBuilder::new(3, cfg).build();
+/// sim.run_until(2_000);
+/// assert_eq!(sim.node(ProcessId(0)).view().len(), 3);
+/// ```
+pub mod prelude {
+    pub use gmp_core::{
+        cluster, cluster_with, ClusterBuilder, Config, ConfigBuilder, JoinConfig, Lifecycle,
+        Member, MemberEvent, ObserveConfig,
+    };
+    pub use gmp_core::{Flat, Hierarchical, Sparse, Topology};
+    pub use gmp_log::{
+        log_cluster, prefix_identical, Client, LogClusterBuilder, LogConfig, ReplicatedLog,
+    };
+    pub use gmp_sim::{Builder, Sim};
+    pub use gmp_types::{ProcessId, Ver, View};
+}

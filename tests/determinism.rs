@@ -270,7 +270,7 @@ fn sharded_reruns_reproduce_the_join_bearing_goldens() {
 fn sparse_topology_replays_byte_identical() {
     use gmp::protocol::{cluster_with, Config, Sparse};
     let build = || {
-        let mut sim = cluster_with(12, 77, Config::default().topology(Sparse::new(4)));
+        let mut sim = cluster_with(12, 77, Config::builder().topology(Sparse::new(4)).build());
         sim.crash_at(ProcessId(11), 400);
         sim.crash_at(ProcessId(1), 900);
         sim
@@ -295,6 +295,45 @@ fn sparse_topology_replays_byte_identical() {
             fingerprint(&sharded.trace().events),
             reference,
             "shards={shards}: sharded sparse-topology run diverged from sequential"
+        );
+    }
+}
+
+/// Log-bearing replay: the `gmp-log` workload stacks a second protocol
+/// (multipaxos phase 2) and a client population on top of membership in
+/// the same simulator — `Ctx::embedded` sub-contexts, wrapped messages,
+/// two timer namespaces. A run must stay a pure function of `(topology,
+/// seed, fault schedule)` with all of that in play, and the sharded
+/// engine must reproduce it event for event. The CI determinism job
+/// double-runs this scenario alongside the membership-only ones.
+#[test]
+fn log_workload_replays_byte_identical() {
+    use gmp::log::log_cluster;
+    let build = || {
+        let mut sim = log_cluster(5, 3, 2024);
+        sim.crash_at(ProcessId(0), 2_000);
+        sim
+    };
+    let mut first = build();
+    first.run_until(15_000);
+    let reference = fingerprint(&first.trace().events);
+    assert!(!reference.is_empty(), "run produced no events");
+
+    let mut again = build();
+    again.run_until(15_000);
+    assert_eq!(
+        fingerprint(&again.trace().events),
+        reference,
+        "log-workload replay diverged"
+    );
+
+    for shards in [2usize, 4] {
+        let mut sharded = build();
+        sharded.run_until_sharded(15_000, shards);
+        assert_eq!(
+            fingerprint(&sharded.trace().events),
+            reference,
+            "shards={shards}: sharded log-workload run diverged from sequential"
         );
     }
 }

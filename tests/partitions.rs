@@ -100,7 +100,7 @@ fn flaky_link_triggers_spurious_exclusion_but_stays_safe() {
 
 #[test]
 fn slow_link_within_timeout_causes_no_exclusion() {
-    let mut sim = cluster_with(5, 9, Config::default().timing(40, 400));
+    let mut sim = cluster_with(5, 9, Config::builder().timing(40, 400).build());
     // Delays well under the suspicion timeout: annoying but harmless.
     sim.set_link_delay_at(ProcessId(3), ProcessId(0), Some((60, 120)), 500);
     sim.set_link_delay_at(ProcessId(0), ProcessId(3), Some((60, 120)), 500);

@@ -153,7 +153,7 @@ proptest! {
 #[test]
 fn uncompressed_random_schedules() {
     for seed in 0..8 {
-        let mut sim = cluster_with(6, seed, Config::default().without_compression());
+        let mut sim = cluster_with(6, seed, Config::builder().compression(false).build());
         sim.crash_at(ProcessId(0), 500);
         sim.crash_at(ProcessId(5), 800);
         sim.run_until(25_000);

@@ -88,7 +88,7 @@ fn quiescent_group_stays_at_version_zero() {
 #[test]
 fn without_compression_is_equally_safe() {
     for seed in 0..5 {
-        let mut sim = cluster_with(6, seed, Config::default().without_compression());
+        let mut sim = cluster_with(6, seed, Config::builder().compression(false).build());
         sim.crash_at(ProcessId(4), 400);
         sim.crash_at(ProcessId(5), 420);
         sim.run_until(12_000);
@@ -102,7 +102,7 @@ fn without_compression_is_equally_safe() {
 #[test]
 fn basic_algorithm_tolerates_all_but_mgr() {
     // §3.1: with an immortal Mgr the protocol tolerates |Memb|-1 failures.
-    let mut sim = cluster_with(6, 9, Config::default().without_mgr_majority());
+    let mut sim = cluster_with(6, 9, Config::builder().mgr_majority(false).build());
     for k in 1..6 {
         sim.crash_at(ProcessId(k), 300 + 500 * k as u64);
     }

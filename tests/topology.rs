@@ -58,7 +58,7 @@ fn fnv1a(lines: &[String]) -> u64 {
 /// The crash-only golden scenario of `tests/determinism.rs`, with the
 /// clique topology configured *explicitly* instead of by default.
 fn flat_crash_run(n: usize, seed: u64) -> gmp::sim::Sim<gmp::protocol::Msg, gmp::protocol::Member> {
-    let mut sim = cluster_with(n, seed, Config::default().topology(Flat));
+    let mut sim = cluster_with(n, seed, Config::builder().topology(Flat).build());
     sim.crash_at(ProcessId(n as u32 - 1), 400);
     sim.crash_at(ProcessId(1), 900);
     sim
@@ -149,7 +149,7 @@ proptest! {
         let heartbeat = 40u64;
         let mgr = ProcessId(0);
         let injector = ProcessId(n as u32 / 2);
-        let mut sim = cluster_with(n, seed, Config::default().topology(Sparse::new(k)));
+        let mut sim = cluster_with(n, seed, Config::builder().topology(Sparse::new(k)).build());
         sim.run_until(500);
         sim.node_mut(injector).inject_suspicion(mgr);
 
