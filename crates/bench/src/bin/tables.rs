@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiment ids follow `EXPERIMENTS.md`: t1, f1, f3, f4, f11, c71,
-//! e1..e14, a1, ab1, ab2. Flags:
+//! e1..e15, a1, ab1, ab2. Flags:
 //!
 //! * `--jobs N` — worker threads for the sweep experiments (E8/E9/E10).
 //!   Default: every core the platform reports. For E10 — whose whole
@@ -30,6 +30,14 @@
 //! smoke run uses `tables e13 --seeds 8`; default 4). For E14 it is the
 //! schedules sampled per workload scenario (CI: `tables e14 --seeds 8`;
 //! default 4), each run through both engines.
+//!
+//! E14 and E15 additionally take the workload axes:
+//!
+//! * `--clients N` — closed-loop clients per scenario (default 4).
+//! * `--batch N` — leader batch size. For E14 it switches the workload
+//!   off the unbatched baseline; for E15 it shrinks the swept ladder to
+//!   `{baseline, (batch, window)}`.
+//! * `--window N` — client pipeline window, same semantics as `--batch`.
 
 use gmp_bench::*;
 use gmp_props::{analyze, check_safety};
@@ -41,10 +49,13 @@ fn main() {
     let mut jobs_flag: Option<usize> = None;
     let mut seeds_flag: Option<u64> = None;
     let mut shards_flag: Option<usize> = None;
+    let mut clients_flag: Option<usize> = None;
+    let mut batch_flag: Option<usize> = None;
+    let mut window_flag: Option<usize> = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--jobs" | "--seeds" | "--shards" => {
+            "--jobs" | "--seeds" | "--shards" | "--clients" | "--batch" | "--window" => {
                 let raw = it.next().unwrap_or_else(|| panic!("{a} needs a value"));
                 if a == "--shards" && raw == "auto" {
                     shards_flag = Some(gmp_sim::pool::available_jobs().get());
@@ -56,6 +67,9 @@ fn main() {
                 match a.as_str() {
                     "--jobs" => jobs_flag = Some(v as usize),
                     "--shards" => shards_flag = Some(v as usize),
+                    "--clients" => clients_flag = Some(v as usize),
+                    "--batch" => batch_flag = Some(v as usize),
+                    "--window" => window_flag = Some(v as usize),
                     _ => seeds_flag = Some(v),
                 }
             }
@@ -611,7 +625,7 @@ fn main() {
             "failover p50/max",
             "prefix"
         );
-        let rows = e14_replicated_log(seeds);
+        let rows = e14_replicated_log_with(seeds, clients_flag, batch_flag, window_flag);
         for r in &rows {
             let failover = if r.failover.count == 0 {
                 "-".to_string()
@@ -675,6 +689,158 @@ fn main() {
         match std::fs::write("BENCH_log.json", &json) {
             Ok(()) => println!("(wrote BENCH_log.json)\n"),
             Err(e) => println!("(could not write BENCH_log.json: {e})\n"),
+        }
+    }
+
+    if want("e15") {
+        // --seeds is the schedules sampled per ladder cell (the CI smoke
+        // run uses `tables e15 --seeds 8`; default 4); --batch/--window
+        // shrink the ladder to baseline + that one cell.
+        let seeds = seeds_flag.unwrap_or(4);
+        println!("== E15: batching & pipelining ladder — amortized messages per command ==");
+        println!(
+            "(steady schedule, 5 replicas; batch = max commands the leader coalesces per \
+             AcceptBatch,\n window = requests each client keeps in flight; cell (1,1) is the \
+             unbatched per-slot baseline;\n msgs/op counts log-layer wire messages per committed \
+             operation; {seeds} seeds per cell,\n each run sequential AND sharded)\n"
+        );
+        println!(
+            "{:<7} {:<8} {:<6} {:<9} {:<12} {:<9} {:<18} {:<9} {:<7} sharded",
+            "batch",
+            "window",
+            "seeds",
+            "ops/run",
+            "ops/ktick",
+            "msgs/op",
+            "latency p50/p99",
+            "speedup",
+            "prefix"
+        );
+        let rows = e15_log_batching(seeds, clients_flag, batch_flag, window_flag);
+        for r in &rows {
+            println!(
+                "{:<7} {:<8} {:<6} {:<9.0} {:<12.1} {:<9.2} {:<18} {:<9.2} {:<7} {}",
+                r.batch,
+                r.window,
+                r.seeds,
+                r.committed,
+                r.throughput,
+                r.msgs_per_op,
+                format!("{} / {}", r.latency.p50, r.latency.p99),
+                r.speedup,
+                r.prefix_ok,
+                r.sharded_identical
+            );
+        }
+        println!(
+            "(per command the per-slot path costs 3(n-1)+2 messages; a full batch of B \
+             amortizes the\n quorum round to 3(n-1)/B + 2 — pipelining lifts throughput, \
+             batching cuts msgs/op)"
+        );
+        // The same hard gates as E14, on every cell…
+        assert!(
+            rows.iter().all(|r| r.prefix_ok),
+            "a replica's committed log diverged"
+        );
+        assert!(
+            rows.iter().all(|r| r.sharded_identical),
+            "a sharded ladder run diverged from the sequential engine"
+        );
+        assert!(
+            rows.iter().all(|r| r.committed > 0.0),
+            "a ladder cell committed nothing"
+        );
+        // …plus the tentpole's perf gates. Pipelined cells must beat the
+        // closed-loop baseline ≥ 2× on committed throughput, and a cell
+        // that both batches and pipelines must show the amortization in
+        // msgs/op. (Explicit --batch/--window can deselect such cells;
+        // the gates then have nothing to bind and CI's default ladder
+        // still enforces them.)
+        let pipelined: Vec<_> = rows.iter().filter(|r| r.window > 1).collect();
+        if let Some(best) = pipelined
+            .iter()
+            .map(|r| r.speedup)
+            .max_by(|a, b| a.total_cmp(b))
+        {
+            assert!(
+                best >= 2.0,
+                "pipelining gate: best cell reached only {best:.2}x the unbatched baseline"
+            );
+        }
+        if let Some(least) = rows
+            .iter()
+            .filter(|r| r.batch > 1 && r.window > 1)
+            .map(|r| r.msgs_per_op)
+            .min_by(|a, b| a.total_cmp(b))
+        {
+            assert!(
+                least < 0.8 * rows[0].msgs_per_op,
+                "batching gate: {least:.2} msgs/op does not amortize the baseline's {:.2}",
+                rows[0].msgs_per_op
+            );
+        }
+
+        // The joiner-sync arm: with compaction forced low, a late joiner
+        // must catch up from snapshot + tail, not by replaying the log.
+        let sync = e15_joiner_sync(seed);
+        println!(
+            "\njoiner sync (compact_keep {}, join at {}): log {} slots, SyncOk = snapshot + {} \
+             tail entries,\n joiner base {} (booted mid-log), replicas agree: {}",
+            sync.compact_keep, sync.join_at, sync.log_len, sync.tail, sync.joiner_base, sync.agree
+        );
+        assert!(sync.agree, "a replica disagreed on a shared slot range");
+        assert!(
+            sync.snapshot && sync.joiner_base > 0,
+            "the joiner replayed the whole prefix instead of booting from a snapshot"
+        );
+        assert!(
+            sync.tail <= 2 * sync.compact_keep as u64 + 64,
+            "SyncOk tail {} exceeds the compaction budget {}",
+            sync.tail,
+            sync.compact_keep
+        );
+        assert!(
+            sync.log_len >= 4 * sync.tail.max(1),
+            "SyncOk payload is not O(tail): {} entries for a {}-slot log",
+            sync.tail,
+            sync.log_len
+        );
+        // Machine-readable mirror for CI artifacts and EXPERIMENTS.md.
+        let mut json = String::from("{\n  \"experiment\": \"e15_log_batching\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"batch\": {}, \"window\": {}, \"replicas\": {}, \"clients\": {}, \"seeds\": {}, \"horizon\": {}, \"committed\": {:.1}, \"ops_per_ktick\": {:.2}, \"msgs_per_op\": {:.2}, \"latency_p50\": {}, \"latency_p99\": {}, \"speedup\": {:.2}, \"prefix_ok\": {}, \"sharded_identical\": {}}}{}\n",
+                r.batch,
+                r.window,
+                r.replicas,
+                r.clients,
+                r.seeds,
+                r.horizon,
+                r.committed,
+                r.throughput,
+                r.msgs_per_op,
+                r.latency.p50,
+                r.latency.p99,
+                r.speedup,
+                r.prefix_ok,
+                r.sharded_identical,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str(&format!(
+            "  ],\n  \"joiner_sync\": {{\"compact_keep\": {}, \"join_at\": {}, \"horizon\": {}, \"log_len\": {}, \"tail\": {}, \"snapshot\": {}, \"joiner_base\": {}, \"agree\": {}}}\n}}\n",
+            sync.compact_keep,
+            sync.join_at,
+            sync.horizon,
+            sync.log_len,
+            sync.tail,
+            sync.snapshot,
+            sync.joiner_base,
+            sync.agree
+        ));
+        match std::fs::write("BENCH_log_batching.json", &json) {
+            Ok(()) => println!("(wrote BENCH_log_batching.json)\n"),
+            Err(e) => println!("(could not write BENCH_log_batching.json: {e})\n"),
         }
     }
 

@@ -13,7 +13,9 @@ use gmp_core::{
     cluster_with, is_protocol_tag, ClusterBuilder, Config, Flat, Hierarchical, JoinConfig, Member,
     Msg, Sparse, Topology,
 };
-use gmp_log::{prefix_identical, AppMsg, LogClusterBuilder, LogCmd, LogProc};
+use gmp_log::{
+    logs_agree, prefix_identical, AppMsg, LogClusterBuilder, LogCmd, LogConfig, LogProc,
+};
 use gmp_props::{analyze, check_all, check_safety, knowledge_ladder, render_ladder};
 use gmp_sim::{
     pool, run_seeds_parallel, summarize_runs, BatchConfig, Builder, Sim, Stats, Summary, TraceKind,
@@ -1575,8 +1577,10 @@ fn e14_scenarios() -> Vec<LogScenario> {
     ]
 }
 
-fn e14_build(sc: &LogScenario, seed: u64) -> Sim<AppMsg, LogProc> {
-    let mut b = LogClusterBuilder::new(sc.replicas, sc.clients).seed(seed);
+fn e14_build(sc: &LogScenario, seed: u64, lc: &LogConfig) -> Sim<AppMsg, LogProc> {
+    let mut b = LogClusterBuilder::new(sc.replicas, sc.clients)
+        .seed(seed)
+        .log_config(lc.clone());
     if let Some(at) = sc.join_at {
         // Contact a non-Mgr member: the forwarding path and the crash of
         // the Mgr mid-admission are both part of the schedule.
@@ -1660,15 +1664,37 @@ fn e14_failover(sim: &Sim<AppMsg, LogProc>, crash_at: u64) -> Option<u64> {
 /// assert!(rows.iter().all(|r| r.committed > 0.0));
 /// ```
 pub fn e14_replicated_log(seeds: u64) -> Vec<LogRow> {
+    e14_replicated_log_with(seeds, None, None, None)
+}
+
+/// [`e14_replicated_log`] with the CLI's axis overrides: `clients`
+/// replaces each scenario's client count, and `batch`/`window` switch the
+/// log from the default unbatched baseline trim to the batched one
+/// (`tables e14 --clients N --batch B --window W`).
+pub fn e14_replicated_log_with(
+    seeds: u64,
+    clients: Option<usize>,
+    batch: Option<usize>,
+    window: Option<usize>,
+) -> Vec<LogRow> {
     let seeds = seeds.max(1);
+    // The default E14 arm is the PR-9 baseline: per-slot wire messages,
+    // strict closed loop, no compaction. The batching ladder is E15's.
+    let lc = LogConfig::default()
+        .unbatched()
+        .batch(batch.unwrap_or(1))
+        .window(window.unwrap_or(1));
     let mut rows = Vec::new();
-    for sc in e14_scenarios() {
+    for mut sc in e14_scenarios() {
+        if let Some(c) = clients {
+            sc.clients = c;
+        }
         let mut committed = 0f64;
         let mut latencies: Vec<u64> = Vec::new();
         let mut failovers: Vec<u64> = Vec::new();
         let (mut prefix_ok, mut sharded_identical) = (true, true);
         for s in 0..seeds {
-            let mut seq = e14_build(&sc, s);
+            let mut seq = e14_build(&sc, s, &lc);
             seq.run_until(sc.horizon);
             let (logs, lats) = e14_outcome(&seq, &sc);
             prefix_ok &= prefix_identical(logs.iter().map(|(_, l)| l.as_slice()));
@@ -1683,7 +1709,7 @@ pub fn e14_replicated_log(seeds: u64) -> Vec<LogRow> {
             }
             // The same schedule through the sharded engine must land on
             // the same logs and the same client-visible behaviour.
-            let mut sharded = e14_build(&sc, s);
+            let mut sharded = e14_build(&sc, s, &lc);
             sharded.run_until_sharded(sc.horizon, 2);
             sharded_identical &= e14_outcome(&sharded, &sc) == (logs, lats);
         }
@@ -1703,6 +1729,222 @@ pub fn e14_replicated_log(seeds: u64) -> Vec<LogRow> {
         });
     }
     rows
+}
+
+// ---------------------------------------------------------------------
+// E15 — the batching/pipelining ladder: committed throughput and wire
+// messages per operation across (batch, window) cells, against the
+// unbatched PR-9 baseline, plus the snapshot-compacted joiner-sync gate
+// ---------------------------------------------------------------------
+
+/// One `(batch, window)` cell of E15's ladder, aggregated over seeds.
+#[derive(Clone, Debug)]
+pub struct BatchRow {
+    /// Leader batch size (1 = the per-slot legacy wire path).
+    pub batch: usize,
+    /// Client pipeline window (1 = strict closed loop).
+    pub window: usize,
+    /// Replicas in the steady schedule.
+    pub replicas: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Seeds sampled; every per-seed value is deterministic.
+    pub seeds: u64,
+    /// Simulated horizon in ticks.
+    pub horizon: u64,
+    /// Mean committed client operations per run (`NOOP` fillers excluded).
+    pub committed: f64,
+    /// Committed client operations per 1 000 simulated ticks.
+    pub throughput: f64,
+    /// Log-layer wire messages (tags `log-*`) per committed operation —
+    /// the amortized-message-cost axis the batching trades on.
+    pub msgs_per_op: f64,
+    /// Commit latency (issue → reply), pooled across clients and seeds.
+    pub latency: Summary,
+    /// Throughput relative to the `(1, 1)` baseline cell.
+    pub speedup: f64,
+    /// Hard gate: replicas' committed logs prefix-identical on every seed.
+    pub prefix_ok: bool,
+    /// Hard gate: the sharded engine reproduced the sequential run
+    /// exactly on every seed (logs and client acknowledgements).
+    pub sharded_identical: bool,
+}
+
+/// Outcome of E15's joiner-sync arm: one run with compaction forced low,
+/// a joiner admitted late, and the state transfer it received measured.
+#[derive(Clone, Debug)]
+pub struct SyncRow {
+    /// Compaction keep budget forced on every replica.
+    pub compact_keep: usize,
+    /// When the joiner first asked to join.
+    pub join_at: u64,
+    /// Simulated horizon in ticks.
+    pub horizon: u64,
+    /// Applied length of the donor's log when measured (end of run).
+    pub log_len: u64,
+    /// Tail entries the joiner's `SyncOk` actually shipped.
+    pub tail: u64,
+    /// Whether that `SyncOk` carried a snapshot (it must, once the donor
+    /// has compacted past slot 0).
+    pub snapshot: bool,
+    /// The joiner booted above slot 0 — its applied vectors start at the
+    /// snapshot floor instead of replaying the whole prefix.
+    pub joiner_base: u64,
+    /// Hard gate: all replicas (joiner included, base-aware) agree on
+    /// every slot range they share.
+    pub agree: bool,
+}
+
+/// The ladder's steady schedule: no failures, so every committed-ops
+/// delta between cells is the batching/pipelining, not failover noise.
+fn e15_scenario(clients: usize) -> LogScenario {
+    LogScenario {
+        name: "steady",
+        replicas: 5,
+        clients,
+        crash_at: None,
+        join_at: None,
+        horizon: 15_000,
+    }
+}
+
+/// Drives the steady replicated-log schedule across a ladder of
+/// `(batch, window)` cells — the unbatched PR-9 baseline first, then
+/// batching and client pipelining switched on separately and together —
+/// measuring committed throughput and log-layer wire messages per
+/// operation. Every cell runs under the same hard gates as E14
+/// (prefix-identical logs, sharded engine byte-equal to sequential).
+/// `batch`/`window` overrides shrink the ladder to baseline + that one
+/// cell; `clients` rescales the offered load.
+///
+/// ```
+/// use gmp_bench::e15_log_batching;
+///
+/// let rows = e15_log_batching(1, None, Some(8), Some(4));
+/// assert_eq!(rows.len(), 2);
+/// assert!(rows.iter().all(|r| r.prefix_ok && r.sharded_identical));
+/// assert!(rows[1].throughput > rows[0].throughput);
+/// ```
+pub fn e15_log_batching(
+    seeds: u64,
+    clients: Option<usize>,
+    batch: Option<usize>,
+    window: Option<usize>,
+) -> Vec<BatchRow> {
+    let seeds = seeds.max(1);
+    let sc = e15_scenario(clients.unwrap_or(4));
+    let cells: Vec<(usize, usize)> = match (batch, window) {
+        (None, None) => vec![(1, 1), (8, 1), (1, 4), (8, 4), (16, 8)],
+        (b, w) => vec![(1, 1), (b.unwrap_or(8), w.unwrap_or(4))],
+    };
+    let mut rows = Vec::new();
+    for (b, w) in cells {
+        let lc = if (b, w) == (1, 1) {
+            LogConfig::default().unbatched()
+        } else {
+            // Batched cells keep the default compaction budget; the
+            // leader's admission window scales with the batch so the
+            // batch can actually fill.
+            LogConfig::default()
+                .batch(b)
+                .window(w)
+                .max_inflight(b.max(8))
+        };
+        let mut committed = 0f64;
+        let mut msgs = 0f64;
+        let mut latencies: Vec<u64> = Vec::new();
+        let (mut prefix_ok, mut sharded_identical) = (true, true);
+        for s in 0..seeds {
+            let mut seq = e14_build(&sc, s, &lc);
+            seq.run_until(sc.horizon);
+            let (logs, lats) = e14_outcome(&seq, &sc);
+            prefix_ok &= prefix_identical(logs.iter().map(|(_, l)| l.as_slice()));
+            committed += seq.node(ProcessId(1)).log().committed_ops() as f64;
+            msgs += seq.stats().sends_matching(|t| t.starts_with("log-")) as f64;
+            for l in &lats {
+                latencies.extend_from_slice(l);
+            }
+            let mut sharded = e14_build(&sc, s, &lc);
+            sharded.run_until_sharded(sc.horizon, 2);
+            sharded_identical &= e14_outcome(&sharded, &sc) == (logs, lats);
+        }
+        let committed = committed / seeds as f64;
+        rows.push(BatchRow {
+            batch: b,
+            window: w,
+            replicas: sc.replicas,
+            clients: sc.clients,
+            seeds,
+            horizon: sc.horizon,
+            committed,
+            throughput: committed * 1_000.0 / sc.horizon as f64,
+            msgs_per_op: if committed > 0.0 {
+                msgs / seeds as f64 / committed
+            } else {
+                f64::NAN
+            },
+            latency: Summary::of(&latencies),
+            speedup: 0.0, // filled below, once the baseline cell exists
+            prefix_ok,
+            sharded_identical,
+        });
+    }
+    let base = rows[0].throughput;
+    for r in &mut rows {
+        r.speedup = if base > 0.0 {
+            r.throughput / base
+        } else {
+            f64::NAN
+        };
+    }
+    rows
+}
+
+/// E15's joiner-sync arm: forces a small compaction budget, runs the
+/// batched steady workload long enough for every replica to compact well
+/// past slot 0, then admits a joiner and measures the state transfer it
+/// received. The point of snapshot-compacted `Sync`: the `SyncOk` payload
+/// is O(tail) — bounded by the compaction budget — not O(log).
+///
+/// ```
+/// use gmp_bench::e15_joiner_sync;
+///
+/// let row = e15_joiner_sync(1);
+/// assert!(row.snapshot && row.agree);
+/// assert!(row.tail <= 2 * row.compact_keep as u64 + 64);
+/// assert!(row.log_len >= 4 * row.tail);
+/// ```
+pub fn e15_joiner_sync(seed: u64) -> SyncRow {
+    let keep = 128usize;
+    let (join_at, horizon) = (10_000, 15_000);
+    let lc = LogConfig::default().batch(8).window(4).compact_keep(keep);
+    let mut sim = LogClusterBuilder::new(5, 4)
+        .seed(seed)
+        .log_config(lc)
+        .joiner(JoinConfig::new(join_at, vec![ProcessId(1)]))
+        .build();
+    sim.run_until(horizon);
+    let joiner = sim.node(ProcessId(5)).log();
+    let (snapshot, tail) = joiner.last_sync().unwrap_or((false, 0));
+    let agree = logs_agree(
+        (0..6u32)
+            .map(ProcessId)
+            .filter(|&p| sim.living().contains(&p))
+            .map(|p| {
+                let l = sim.node(p).log();
+                (l.base(), l.committed())
+            }),
+    );
+    SyncRow {
+        compact_keep: keep,
+        join_at,
+        horizon,
+        log_len: sim.node(ProcessId(1)).log().logical_len(),
+        tail,
+        snapshot,
+        joiner_base: joiner.base(),
+        agree,
+    }
 }
 
 /// Convenience: a standard exclusion run for the Criterion benchmarks.

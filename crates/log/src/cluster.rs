@@ -21,9 +21,18 @@ pub struct LogConfig {
     pub request_every: u64,
     /// Client resend timeout for unacknowledged requests.
     pub retry_after: u64,
-    /// Leader batching: max concurrently proposed slots before client
+    /// Leader pipelining: max concurrently proposed slots before client
     /// commands queue.
     pub max_inflight: usize,
+    /// Leader batching: max commands per `AcceptBatch`. 1 selects the
+    /// per-slot legacy wire path, bit-identical to the PR-9 baseline.
+    pub batch: usize,
+    /// Client pipeline window: requests each client keeps in flight.
+    /// 1 reproduces the strict closed loop of the unbatched baseline.
+    pub window: usize,
+    /// Compaction: applied slots of hot state each replica keeps above
+    /// its floor (`usize::MAX` disables compaction).
+    pub compact_keep: usize,
 }
 
 impl Default for LogConfig {
@@ -32,6 +41,9 @@ impl Default for LogConfig {
             request_every: 50,
             retry_after: 300,
             max_inflight: 8,
+            batch: 8,
+            window: 4,
+            compact_keep: 4096,
         }
     }
 }
@@ -51,11 +63,38 @@ impl LogConfig {
         self
     }
 
-    /// Sets the leader's in-flight window (batching knob).
+    /// Sets the leader's in-flight window (pipelining knob).
     pub fn max_inflight(mut self, window: usize) -> Self {
         assert!(window >= 1, "the in-flight window must admit work");
         self.max_inflight = window;
         self
+    }
+
+    /// Sets the leader's max batch size (1 = unbatched legacy path).
+    pub fn batch(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "a batch carries at least one command");
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the client pipeline window (1 = strict closed loop).
+    pub fn window(mut self, window: usize) -> Self {
+        assert!(window >= 1, "the pipeline window must admit work");
+        self.window = window;
+        self
+    }
+
+    /// Sets the compaction keep budget (`usize::MAX` = never compact).
+    pub fn compact_keep(mut self, keep: usize) -> Self {
+        assert!(keep >= 1, "compaction must keep the working tail");
+        self.compact_keep = keep;
+        self
+    }
+
+    /// The unbatched, uncompacted PR-9 baseline trim: per-slot wire
+    /// messages, one request in flight per client, full history retained.
+    pub fn unbatched(self) -> Self {
+        self.batch(1).window(1).compact_keep(usize::MAX)
     }
 }
 
@@ -143,18 +182,25 @@ impl LogClusterBuilder {
         let initial: View = (0..self.n as u32).map(ProcessId).collect();
         let replicas: Vec<ProcessId> = initial.to_vec();
         let mut sim = self.sim.build();
+        let log = || {
+            ReplicatedLog::with_tuning(
+                self.log_cfg.max_inflight,
+                self.log_cfg.batch,
+                self.log_cfg.compact_keep,
+            )
+        };
         for _ in 0..self.n {
             sim.add_node(LogProc::Replica(Box::new(Replica::new(
                 Member::new(self.cfg.clone(), initial.clone()),
-                ReplicatedLog::new(self.log_cfg.max_inflight),
+                log(),
             ))));
         }
-        for join in self.joiners {
+        for join in self.joiners.iter() {
             let mut cfg = self.cfg.clone();
-            cfg.join = Some(join);
+            cfg.join = Some(join.clone());
             sim.add_node(LogProc::Replica(Box::new(Replica::new(
                 Member::joiner(cfg),
-                ReplicatedLog::new(self.log_cfg.max_inflight),
+                log(),
             ))));
         }
         for k in 0..self.clients {
@@ -165,6 +211,7 @@ impl LogClusterBuilder {
                 first_at,
                 self.log_cfg.request_every,
                 self.log_cfg.retry_after,
+                self.log_cfg.window,
             )));
         }
         sim
@@ -182,6 +229,30 @@ pub fn prefix_identical<'a>(logs: impl IntoIterator<Item = &'a [LogCmd]>) -> boo
     let mut logs: Vec<&[LogCmd]> = logs.into_iter().collect();
     logs.sort_by_key(|l| l.len());
     logs.windows(2).all(|w| w[1].starts_with(w[0]))
+}
+
+/// Base-aware variant of [`prefix_identical`] for clusters where some
+/// replica booted from a snapshot: each log comes as `(base, suffix)`
+/// with `suffix[i]` the command of slot `base + i`. Agreement means every
+/// pair matches on the slot range both actually hold — lagging and
+/// snapshot-trimmed histories are fine, divergence is not.
+pub fn logs_agree<'a>(logs: impl IntoIterator<Item = (u64, &'a [LogCmd])>) -> bool {
+    let logs: Vec<(u64, &[LogCmd])> = logs.into_iter().collect();
+    for (i, &(base_a, a)) in logs.iter().enumerate() {
+        for &(base_b, b) in &logs[i + 1..] {
+            let lo = base_a.max(base_b);
+            let hi = (base_a + a.len() as u64).min(base_b + b.len() as u64);
+            if lo >= hi {
+                continue; // no overlap to compare
+            }
+            let sa = &a[(lo - base_a) as usize..(hi - base_a) as usize];
+            let sb = &b[(lo - base_b) as usize..(hi - base_b) as usize];
+            if sa != sb {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -208,5 +279,18 @@ mod tests {
         let a = [cmd(9, 0), cmd(9, 1)];
         let b = [cmd(9, 0), cmd(8, 0)];
         assert!(!prefix_identical([&a[..], &b[..]]));
+    }
+
+    #[test]
+    fn base_aware_agreement_compares_overlaps_only() {
+        let full = [cmd(9, 0), cmd(9, 1), cmd(8, 0), cmd(8, 1)];
+        let tail = [cmd(8, 0), cmd(8, 1)];
+        // A snapshot-booted replica holding slots [2, 4) agrees…
+        assert!(logs_agree([(0, &full[..]), (2, &tail[..])]));
+        // …and a diverging tail does not.
+        let bad = [cmd(8, 0), cmd(7, 7)];
+        assert!(!logs_agree([(0, &full[..]), (2, &bad[..])]));
+        // Disjoint ranges have nothing to disagree about.
+        assert!(logs_agree([(0, &full[..2]), (3, &tail[..])]));
     }
 }

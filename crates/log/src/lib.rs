@@ -12,10 +12,17 @@
 //! * **reconfiguration** — view installs *are* the configuration changes;
 //!   [`MemberEvent`](gmp_core::MemberEvent)s deliver them to the log.
 //!
-//! What remains is the steady-state phase 2 (`Accept`/`AcceptOk`/
-//! `Decide`), the new-leader recovery round, and joiner state transfer —
-//! see [`ReplicatedLog`]. Everything is sans-IO and runs inside
-//! [`gmp_sim`]'s deterministic engines, sequential or sharded.
+//! What remains is the steady-state phase 2 — per-slot
+//! (`Accept`/`AcceptOk`/`Decide`) with batching off, per-range
+//! (`AcceptBatch`/`AcceptOkRange`/`DecideBatch`) with batching on — the
+//! new-leader recovery round, and joiner state transfer (snapshot + tail
+//! once compaction has passed the joiner's prefix) — see
+//! [`ReplicatedLog`]. Everything is sans-IO and runs inside [`gmp_sim`]'s
+//! deterministic engines, sequential or sharded. Batch size, client
+//! pipeline window and the compaction budget are [`LogConfig`] knobs;
+//! `LogConfig::default()` is the batched trim and
+//! [`LogConfig::unbatched`](cluster::LogConfig::unbatched) restores the
+//! PR-9 baseline bit-for-bit.
 //!
 //! # Quickstart
 //!
@@ -46,7 +53,7 @@ pub mod node;
 pub mod replica;
 
 pub use client::Client;
-pub use cluster::{log_cluster, prefix_identical, LogClusterBuilder, LogConfig};
-pub use msg::{AppMsg, LogCmd, LogMsg};
+pub use cluster::{log_cluster, logs_agree, prefix_identical, LogClusterBuilder, LogConfig};
+pub use msg::{AppMsg, LogCmd, LogMsg, Snapshot};
 pub use node::{LogProc, Replica};
-pub use replica::ReplicatedLog;
+pub use replica::{ReplicatedLog, LOG_FLUSH};

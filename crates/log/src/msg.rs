@@ -31,12 +31,37 @@ impl LogCmd {
     }
 }
 
+/// A compacted summary of everything below a replica's compaction floor:
+/// enough for a receiver to serve reads of the dedup state and to accept
+/// decides above the floor, without ever seeing the pruned prefix.
+///
+/// The floor invariant: every slot `< floor` is committed (decided and
+/// applied) at the snapshot's producer, and `clients` holds the dedup
+/// high-water mark — the last committed `(seq, slot)` — of every client
+/// with a command anywhere in `[0, floor)` *or* in the producer's applied
+/// suffix (carrying the suffix marks too costs nothing and lets receivers
+/// adopt the map wholesale). Client sequence numbers commit in order per
+/// client (FIFO links, see the module docs of [`crate::replica`]), so one
+/// `(seq, slot)` pair per client is a complete dedup summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// First slot *not* covered: everything below is committed and
+    /// summarized here.
+    pub floor: u64,
+    /// Per-client dedup high-water marks `(client, last seq, its slot)`,
+    /// sorted by client id.
+    pub clients: Vec<(ProcessId, u64, u64)>,
+}
+
 /// Replicated-log protocol messages.
 ///
 /// Ballots are GMP view versions: monotone, agreed, and free — the
 /// membership layer already paid for the agreement. The steady state is
-/// phase-2-only multipaxos (`Accept`/`AcceptOk`/`Decide`); phase 1 exists
-/// as the `Recover` round a new leader runs after a view install.
+/// phase-2-only multipaxos; with batching off it runs per-slot
+/// (`Accept`/`AcceptOk`/`Decide`), with batching on the same phase runs
+/// per *range* (`AcceptBatch`/`AcceptOkRange`/`DecideBatch`) so the
+/// message cost per command is amortized by the batch size. Phase 1
+/// exists as the `Recover` round a new leader runs after a view install.
 #[derive(Clone, Debug)]
 pub enum LogMsg {
     /// Client → leader: append `cmd` to the log.
@@ -81,6 +106,38 @@ pub enum LogMsg {
         /// The decided command.
         cmd: LogCmd,
     },
+    /// Leader → acceptors: accept `cmds` into the contiguous slot range
+    /// starting at `first_slot`, at `ballot`. One message replaces
+    /// `cmds.len()` individual `Accept`s — the batched hot path.
+    AcceptBatch {
+        /// The proposing leader's ballot (its view version).
+        ballot: Ver,
+        /// Slot of `cmds[0]`; `cmds[i]` goes into `first_slot + i`.
+        first_slot: u64,
+        /// The proposed commands, in slot order.
+        cmds: Vec<LogCmd>,
+    },
+    /// Acceptor → leader: the whole range `[first_slot, first_slot +
+    /// count)` is accepted. One message acks a whole `AcceptBatch`.
+    AcceptOkRange {
+        /// Echo of the batch's ballot.
+        ballot: Ver,
+        /// Echo of the batch's first slot.
+        first_slot: u64,
+        /// Number of contiguous slots accepted.
+        count: u64,
+    },
+    /// Leader → replicas: the contiguous range starting at `first_slot`
+    /// is decided. One message replaces `cmds.len()` individual
+    /// `Decide`s.
+    DecideBatch {
+        /// Ballot under which the range was decided.
+        ballot: Ver,
+        /// Slot of `cmds[0]`.
+        first_slot: u64,
+        /// The decided commands, in slot order.
+        cmds: Vec<LogCmd>,
+    },
     /// New leader → view members: report every accepted entry at slot ≥
     /// `from` (the leader's committed length), so in-flight proposals of
     /// the dead leader can be re-proposed at `ballot`.
@@ -91,11 +148,18 @@ pub enum LogMsg {
         from: u64,
     },
     /// Acceptor → new leader: accepted entries at slot ≥ the recover's
-    /// `from`, as `(slot, ballot, cmd)`.
+    /// `from`, as `(slot, ballot, cmd)`. When the responder's own log
+    /// starts above the requested floor (it booted from a snapshot and
+    /// holds nothing below its base), it attaches its current snapshot so
+    /// the requester can catch up first.
     RecoverOk {
         /// Echo of the recover's ballot.
         ballot: Ver,
-        /// This acceptor's accepted entries above the requested floor.
+        /// Present iff the responder cannot report entries all the way
+        /// down to the requested floor.
+        snapshot: Option<Snapshot>,
+        /// This acceptor's accepted entries above the requested floor
+        /// (above the snapshot's floor, when one is attached).
         entries: Vec<(u64, Ver, LogCmd)>,
     },
     /// Freshly welcomed member → leader: send me the committed prefix from
@@ -104,12 +168,19 @@ pub enum LogMsg {
         /// First slot the joiner is missing (its committed length).
         from: u64,
     },
-    /// Leader → joiner: the committed entries from `from`, in slot order,
-    /// as `(deciding ballot, cmd)`.
+    /// Leader → joiner: state transfer. With compaction idle this is the
+    /// committed entries from `from` in slot order, as before; once the
+    /// responder's compaction floor has passed `from`, the prefix below
+    /// the floor ships as a [`Snapshot`] and `entries` is only the tail
+    /// above it — O(tail), not O(log).
     SyncOk {
-        /// Echo of the sync's `from`.
+        /// First slot of `entries`: the sync's `from`, or the snapshot's
+        /// floor when one is attached.
         from: u64,
-        /// Committed suffix starting at `from`.
+        /// Present iff the responder compacted past the requested `from`.
+        snapshot: Option<Snapshot>,
+        /// Committed suffix starting at `from`, as `(deciding ballot,
+        /// cmd)`.
         entries: Vec<(Ver, LogCmd)>,
     },
 }
@@ -123,6 +194,9 @@ impl Message for LogMsg {
             LogMsg::Accept { .. } => "log-accept",
             LogMsg::AcceptOk { .. } => "log-accept-ok",
             LogMsg::Decide { .. } => "log-decide",
+            LogMsg::AcceptBatch { .. } => "log-accept-batch",
+            LogMsg::AcceptOkRange { .. } => "log-accept-ok-range",
+            LogMsg::DecideBatch { .. } => "log-decide-batch",
             LogMsg::Recover { .. } => "log-recover",
             LogMsg::RecoverOk { .. } => "log-recover-ok",
             LogMsg::Sync { .. } => "log-sync",

@@ -7,12 +7,13 @@
 //! [`AppMsg::Gmp`]), and after *every* member interaction the replica
 //! pumps the drained [`MemberEvent`](gmp_core::MemberEvent)s into the log and flushes the log's
 //! outbox onto the wire. Timer tags route by value: the membership layer
-//! owns tags 1–3, the client loop uses its own; the log itself is purely
-//! message- and event-driven and needs no timers.
+//! owns tags 1–3, the client loop uses its own, and [`LOG_FLUSH`] is the
+//! log's batch-coalescing flush — the log never sets it itself, it raises
+//! a request the node converts into a 1-tick timer here.
 
 use crate::client::Client;
 use crate::msg::{AppMsg, LogMsg};
-use crate::replica::ReplicatedLog;
+use crate::replica::{ReplicatedLog, LOG_FLUSH};
 use gmp_core::{Member, Msg};
 use gmp_sim::{Ctx, Node};
 use gmp_types::ProcessId;
@@ -50,15 +51,23 @@ impl Replica {
         for ev in self.member.take_events() {
             self.log.on_member_event(ev, now);
         }
-        for (to, m) in self.log.take_outbox() {
-            ctx.send(to, AppMsg::Log(m));
-        }
+        self.drain_log(ctx);
     }
 
     fn on_log_message(&mut self, ctx: &mut Ctx<'_, AppMsg>, from: ProcessId, msg: LogMsg) {
         self.log.on_message(from, msg, ctx.now());
+        self.drain_log(ctx);
+    }
+
+    /// Sends the log's outbox and arms the batch flush when asked: the
+    /// 1-tick timer is what coalesces every same-tick admission into one
+    /// `AcceptBatch`.
+    fn drain_log(&mut self, ctx: &mut Ctx<'_, AppMsg>) {
         for (to, m) in self.log.take_outbox() {
             ctx.send(to, AppMsg::Log(m));
+        }
+        if self.log.take_flush_request() {
+            ctx.set_timer(1, LOG_FLUSH);
         }
     }
 }
@@ -127,7 +136,12 @@ impl Node<AppMsg> for LogProc {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, AppMsg>, tag: u64) {
         match self {
-            // All replica timers belong to the membership layer.
+            // The flush tick is the log's; every other replica timer
+            // belongs to the membership layer.
+            LogProc::Replica(r) if tag == LOG_FLUSH => {
+                r.log.on_flush(ctx.now());
+                r.drain_log(ctx);
+            }
             LogProc::Replica(r) => r.with_member(ctx, |m, c| m.on_timer(c, tag)),
             LogProc::Client(c) => c.on_timer(ctx, tag),
         }

@@ -13,11 +13,39 @@
 //! | failure notice | [`MemberEvent::PeerSuspected`] |
 //!
 //! The steady state is phase-2-only: the leader assigns slots in order and
-//! broadcasts `Accept`; a view-majority of `AcceptOk`s (the leader counts
-//! itself) decides the slot, the leader answers the client and broadcasts
-//! `Decide`. Because proposals go out in ascending slot order over FIFO
-//! links, decisions also arrive in order and the applied prefix never
-//! holds holes for long.
+//! broadcasts accepts; a view-majority of acks (the leader counts itself)
+//! decides, the leader answers the client and broadcasts the decision.
+//! Because proposals go out in ascending slot order over FIFO links,
+//! decisions also arrive in order and the applied prefix never holds holes
+//! for long.
+//!
+//! # Batching and pipelining
+//!
+//! With `batch_max == 1` the hot path is PR-9's per-slot
+//! `Accept`/`AcceptOk`/`Decide` — kept bit-for-bit as the unbatched
+//! baseline. With `batch_max > 1` the leader coalesces every command that
+//! arrives within a tick (the hosting node arms a 1-tick [`LOG_FLUSH`]
+//! timer on the first admission) and proposes up to `batch_max` of them in
+//! one `AcceptBatch`; acceptors ack the whole range in one
+//! `AcceptOkRange`, and decisions ship as `DecideBatch` runs. Message
+//! cost per command drops from `3(n-1) + 2` to `3(n-1)/B + 2` for batch
+//! size `B`. Decide-path refills re-propose straight from the queue (no
+//! extra flush tick), so a saturated pipeline stays saturated.
+//!
+//! # Compaction
+//!
+//! Replicas maintain a **compaction floor**: every slot below it is
+//! committed and summarized by a [`Snapshot`] — the floor itself plus one
+//! `(last seq, slot)` dedup high-water mark per client. The mark is a
+//! complete dedup summary because links are FIFO and the leader proposes
+//! in admission order, so each client's sequence numbers commit in
+//! monotone order: `seq ≤ mark` ⇔ committed. Once `logical_len - floor >
+//! 2·compact_keep`, the floor advances to `logical_len - compact_keep`
+//! and `accepted`/`parked`/`by_cmd` are pruned below it — replica hot
+//! state is bounded by the window, not the run length. Joiner `Sync`
+//! below the floor answers with snapshot + tail (O(tail), not O(log));
+//! a snapshot-booted replica starts its applied vectors at `base =
+//! snapshot.floor` instead of 0.
 //!
 //! On every view install where this process is `Mgr` it (re)runs the
 //! **recovery round** — multipaxos phase 1 at ballot = the new `ver`: ask
@@ -28,19 +56,30 @@
 //! survives in the accepted sets of a majority, and the new view (minus
 //! the excluded members) still intersects it whenever the group itself
 //! stayed a majority — the same bound the membership layer already lives
-//! under (Fig. 8's `μ_Mgr`).
+//! under (Fig. 8's `μ_Mgr`). On completing recovery the new leader also
+//! re-sends each client's high-water `Reply`: a command decided under the
+//! dead leader may have lost its reply with the crash, and the re-reply
+//! is what unsticks that client without waiting for its retry sweep.
 //!
 //! The state machine is sans-IO like [`Member`](gmp_core::Member):
 //! handlers mutate state and push outbound messages into an outbox the
 //! hosting [`Replica`](crate::Replica) node drains into the simulator.
+//! Batching needs one timer; the log never sets it itself — it raises a
+//! flush *request* ([`take_flush_request`](ReplicatedLog::take_flush_request))
+//! the hosting node converts into a [`LOG_FLUSH`] timer.
 
-use crate::msg::{LogCmd, LogMsg};
+use crate::msg::{LogCmd, LogMsg, Snapshot};
 use gmp_core::MemberEvent;
 use gmp_types::{ProcessId, Ver};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Simulated-time alias (mirrors `gmp_sim::Time`).
 type Time = u64;
+
+/// Timer tag of the leader's batch-coalescing flush. The membership layer
+/// owns tags 1–3 and the client loop tag 64; the hosting node routes this
+/// one back into [`ReplicatedLog::on_flush`].
+pub const LOG_FLUSH: u64 = 65;
 
 /// Leader-only state.
 #[derive(Clone, Debug)]
@@ -50,9 +89,13 @@ struct LeaderState {
     /// Next unproposed slot.
     next_slot: u64,
     /// Client commands admitted but not yet proposed (recovery in
-    /// progress, or the in-flight window is full).
+    /// progress, batch flush pending, or the in-flight window is full).
     queue: VecDeque<LogCmd>,
-    /// Proposed, awaiting a quorum of `AcceptOk`s. Keyed by slot.
+    /// Leader-side dedup: mirror of `queue` ∪ `in_flight`. Entries leave
+    /// when their command is learned; committed dedup is `by_cmd` and the
+    /// per-client high-water marks, so this set stays window-sized.
+    admitted: BTreeSet<LogCmd>,
+    /// Proposed, awaiting a quorum of acks. Keyed by slot.
     in_flight: BTreeMap<u64, Accepting>,
     /// The recovery round, while it runs. `None` once steady-state.
     recovery: Option<Recovery>,
@@ -62,8 +105,7 @@ struct LeaderState {
 #[derive(Clone, Debug)]
 struct Accepting {
     cmd: LogCmd,
-    /// Acceptors that answered `AcceptOk` (the leader counts itself
-    /// implicitly).
+    /// Acceptors that acked (the leader counts itself implicitly).
     oks: BTreeSet<ProcessId>,
 }
 
@@ -91,30 +133,51 @@ pub struct ReplicatedLog {
     /// Highest ballot promised: max of every installed version and every
     /// ballot accepted from. Accepts below it are stale and ignored.
     promised: Ver,
-    /// Accepted entries, never pruned below by lower ballots: `slot →
-    /// (ballot, cmd)`. Recovery reads this.
+    /// Accepted entries at slot ≥ `floor` (pruned below by compaction,
+    /// never by lower ballots): `slot → (ballot, cmd)`. Recovery reads
+    /// this; it is a superset of the committed suffix above the floor.
     accepted: BTreeMap<u64, (Ver, LogCmd)>,
     /// Decided entries not yet contiguous with the applied prefix.
     parked: BTreeMap<u64, (Ver, LogCmd)>,
-    /// The applied log: `committed[i]` is slot `i`'s command.
+    /// First slot the applied vectors cover: 0 unless this replica booted
+    /// from a snapshot, in which case its history starts at the
+    /// snapshot's floor.
+    base: u64,
+    /// The applied log from `base`: `committed[i]` is slot `base + i`.
     committed: Vec<LogCmd>,
     /// Ballot under which each applied slot was decided.
     ballots: Vec<Ver>,
     /// Local simulated time each slot was applied.
     applied_at: Vec<Time>,
-    /// Slot of each applied client command (for duplicate replies).
+    /// Compaction floor: every slot below is committed and summarized by
+    /// the per-client high-water marks. `base ≤ floor ≤ logical_len`.
+    floor: u64,
+    /// Slot of each applied client command at slot ≥ `floor` (exact
+    /// duplicate replies above the floor; the marks answer below it).
     by_cmd: BTreeMap<LogCmd, u64>,
-    /// Client of record per in-flight command (answered on decide).
-    /// Leader-side dedup: every admitted command identity (queued,
-    /// in-flight or applied).
-    admitted: BTreeSet<LogCmd>,
+    /// Per-client dedup high-water mark: `client → (last committed seq,
+    /// its slot)`. Complete because per-client seqs commit in order.
+    client_hwm: BTreeMap<ProcessId, (u64, u64)>,
     /// Processes the membership layer currently suspects.
     suspected: BTreeSet<ProcessId>,
     /// Leader-only state, while this process is `Mgr`.
     lead: Option<LeaderState>,
-    /// Max in-flight proposals before client commands wait in the queue
-    /// (the batching knob of [`LogConfig`](crate::LogConfig)).
+    /// Max in-flight slots before client commands wait in the queue.
     max_inflight: usize,
+    /// Max commands per `AcceptBatch`; 1 selects the per-slot legacy wire
+    /// path (bit-identical to the unbatched baseline, no flush timer).
+    batch_max: usize,
+    /// Applied suffix length that triggers compaction (`usize::MAX`
+    /// disables it; compaction runs when `logical_len - floor > 2·keep`).
+    compact_keep: usize,
+    /// A flush timer is wanted (set on first batched admission, drained
+    /// by the hosting node via `take_flush_request`).
+    flush_asked: bool,
+    /// A flush timer is armed and not yet fired — don't ask for another.
+    flush_armed: bool,
+    /// Shape of the last `SyncOk` received: `(carried a snapshot, tail
+    /// length)`. Test/bench observability for the O(tail) gate.
+    last_sync: Option<(bool, u64)>,
     /// True between activation (initial view / welcome) and quit.
     active: bool,
     /// Outbound messages, drained by the hosting node.
@@ -122,11 +185,20 @@ pub struct ReplicatedLog {
 }
 
 impl ReplicatedLog {
-    /// A blank log for a process that will learn its identity and view
-    /// from its member's events. `max_inflight` caps concurrently proposed
-    /// slots (≥ 1).
+    /// A blank log in legacy (unbatched, uncompacted) trim: per-slot wire
+    /// messages, full history retained. `max_inflight` caps concurrently
+    /// proposed slots (≥ 1).
     pub fn new(max_inflight: usize) -> Self {
+        Self::with_tuning(max_inflight, 1, usize::MAX)
+    }
+
+    /// A blank log with the full perf trim: `batch_max` commands per
+    /// `AcceptBatch` (1 = legacy per-slot path) and compaction keeping
+    /// `compact_keep` applied slots of hot state (`usize::MAX` = off).
+    pub fn with_tuning(max_inflight: usize, batch_max: usize, compact_keep: usize) -> Self {
         assert!(max_inflight >= 1, "the in-flight window must admit work");
+        assert!(batch_max >= 1, "a batch carries at least one command");
+        assert!(compact_keep >= 1, "compaction must keep the working tail");
         ReplicatedLog {
             me: ProcessId(u32::MAX),
             view: Vec::new(),
@@ -135,14 +207,21 @@ impl ReplicatedLog {
             promised: 0,
             accepted: BTreeMap::new(),
             parked: BTreeMap::new(),
+            base: 0,
             committed: Vec::new(),
             ballots: Vec::new(),
             applied_at: Vec::new(),
+            floor: 0,
             by_cmd: BTreeMap::new(),
-            admitted: BTreeSet::new(),
+            client_hwm: BTreeMap::new(),
             suspected: BTreeSet::new(),
             lead: None,
             max_inflight,
+            batch_max,
+            compact_keep,
+            flush_asked: false,
+            flush_armed: false,
+            last_sync: None,
             active: false,
             outbox: Vec::new(),
         }
@@ -158,7 +237,9 @@ impl ReplicatedLog {
     // Inspection
     // ------------------------------------------------------------------
 
-    /// The applied log, in slot order (including no-op fillers).
+    /// The applied log from [`base`](Self::base), in slot order (including
+    /// no-op fillers): `committed()[i]` is slot `base() + i`. `base()` is
+    /// 0 except on snapshot-booted replicas.
     pub fn committed(&self) -> &[LogCmd] {
         &self.committed
     }
@@ -175,6 +256,40 @@ impl ReplicatedLog {
         &self.applied_at
     }
 
+    /// First slot the applied vectors cover (the snapshot floor this
+    /// replica booted from, or 0 for founders).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The compaction floor: every slot below it is committed here and
+    /// summarized by the per-client high-water marks.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// One past the last applied slot (`base + committed().len()`).
+    pub fn logical_len(&self) -> u64 {
+        self.base + self.committed.len() as u64
+    }
+
+    /// Sizes of the prunable hot state, for memory-bound assertions:
+    /// `(accepted, parked, by_cmd, client marks)`.
+    pub fn hot_sizes(&self) -> (usize, usize, usize, usize) {
+        (
+            self.accepted.len(),
+            self.parked.len(),
+            self.by_cmd.len(),
+            self.client_hwm.len(),
+        )
+    }
+
+    /// Shape of the last `SyncOk` this replica received: `(carried a
+    /// snapshot, tail entry count)`. `None` until one arrives.
+    pub fn last_sync(&self) -> Option<(bool, u64)> {
+        self.last_sync
+    }
+
     /// True while this process believes itself leader.
     pub fn is_leader(&self) -> bool {
         self.lead.is_some()
@@ -185,7 +300,8 @@ impl ReplicatedLog {
         self.leader
     }
 
-    /// Applied client operations, no-op fillers excluded.
+    /// Applied client operations, no-op fillers excluded (not counting
+    /// anything below [`base`](Self::base) on snapshot-booted replicas).
     pub fn committed_ops(&self) -> usize {
         self.committed.iter().filter(|c| !c.is_noop()).count()
     }
@@ -193,6 +309,25 @@ impl ReplicatedLog {
     /// Drains the outbound messages queued by the last handler call.
     pub fn take_outbox(&mut self) -> Vec<(ProcessId, LogMsg)> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// True once per wanted flush: the hosting node calls this after every
+    /// handler and arms a 1-tick [`LOG_FLUSH`] timer when it returns true.
+    pub fn take_flush_request(&mut self) -> bool {
+        if self.flush_asked {
+            self.flush_asked = false;
+            self.flush_armed = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The [`LOG_FLUSH`] timer fired: propose everything coalesced since
+    /// it was armed (up to `batch_max` per `AcceptBatch`).
+    pub fn on_flush(&mut self, now: Time) {
+        self.flush_armed = false;
+        self.propose_queued_batched(now);
     }
 
     // ------------------------------------------------------------------
@@ -227,7 +362,7 @@ impl ReplicatedLog {
                         self.outbox.push((
                             mgr,
                             LogMsg::Sync {
-                                from: self.committed.len() as u64,
+                                from: self.logical_len(),
                             },
                         ));
                     }
@@ -253,6 +388,8 @@ impl ReplicatedLog {
             MemberEvent::Quit { .. } => {
                 self.active = false;
                 self.lead = None;
+                self.flush_asked = false;
+                self.flush_armed = false;
             }
             // `MemberEvent` is non_exhaustive: future kinds don't concern
             // the log until someone teaches it otherwise.
@@ -272,7 +409,8 @@ impl ReplicatedLog {
         };
         // …minus anything a leader in between already committed (the
         // client resubmitted it there while we were a follower).
-        queue.retain(|c| !self.by_cmd.contains_key(c));
+        queue.retain(|c| self.committed_slot_of(c).is_none());
+        let admitted: BTreeSet<LogCmd> = queue.iter().copied().collect();
         let pending: BTreeSet<ProcessId> = self
             .view
             .iter()
@@ -281,15 +419,16 @@ impl ReplicatedLog {
             .collect();
         self.lead = Some(LeaderState {
             ballot,
-            next_slot: self.committed.len() as u64,
+            next_slot: self.logical_len(),
             queue,
+            admitted,
             in_flight: BTreeMap::new(),
             recovery: Some(Recovery {
                 pending,
                 found: BTreeMap::new(),
             }),
         });
-        let from = self.committed.len() as u64;
+        let from = self.logical_len();
         let peers: Vec<ProcessId> = self
             .view
             .iter()
@@ -318,7 +457,9 @@ impl ReplicatedLog {
             LogMsg::Accept { ballot, slot, cmd } => {
                 if ballot >= self.promised {
                     self.promised = ballot;
-                    self.accepted.insert(slot, (ballot, cmd));
+                    if slot >= self.floor {
+                        self.accepted.insert(slot, (ballot, cmd));
+                    }
                     self.outbox.push((from, LogMsg::AcceptOk { ballot, slot }));
                 }
             }
@@ -327,22 +468,59 @@ impl ReplicatedLog {
                 self.learn(slot, ballot, cmd);
                 self.apply_contiguous(now);
             }
-            LogMsg::Recover {
+            LogMsg::AcceptBatch {
                 ballot,
-                from: floor,
+                first_slot,
+                cmds,
             } => {
                 if ballot >= self.promised {
                     self.promised = ballot;
-                    let entries: Vec<(u64, Ver, LogCmd)> = self
-                        .accepted
-                        .range(floor..)
-                        .map(|(&s, &(b, c))| (s, b, c))
-                        .collect();
-                    self.outbox
-                        .push((from, LogMsg::RecoverOk { ballot, entries }));
+                    let count = cmds.len() as u64;
+                    for (i, cmd) in cmds.into_iter().enumerate() {
+                        let slot = first_slot + i as u64;
+                        // Slots under the floor are committed and pruned;
+                        // acking them is still correct (decided ⊇ accepted).
+                        if slot >= self.floor {
+                            self.accepted.insert(slot, (ballot, cmd));
+                        }
+                    }
+                    self.outbox.push((
+                        from,
+                        LogMsg::AcceptOkRange {
+                            ballot,
+                            first_slot,
+                            count,
+                        },
+                    ));
                 }
             }
-            LogMsg::RecoverOk { ballot, entries } => {
+            LogMsg::AcceptOkRange {
+                ballot,
+                first_slot,
+                count,
+            } => self.on_accept_ok_range(from, ballot, first_slot, count, now),
+            LogMsg::DecideBatch {
+                ballot,
+                first_slot,
+                cmds,
+            } => {
+                for (i, cmd) in cmds.into_iter().enumerate() {
+                    self.learn(first_slot + i as u64, ballot, cmd);
+                }
+                self.apply_contiguous(now);
+            }
+            LogMsg::Recover {
+                ballot,
+                from: floor,
+            } => self.on_recover(from, ballot, floor),
+            LogMsg::RecoverOk {
+                ballot,
+                snapshot,
+                entries,
+            } => {
+                if let Some(snap) = snapshot {
+                    self.install_snapshot(snap);
+                }
                 let Some(lead) = &mut self.lead else { return };
                 if lead.ballot != ballot {
                     return; // stale round
@@ -361,30 +539,83 @@ impl ReplicatedLog {
                 rec.pending.remove(&from);
                 self.finish_recovery_if_ready(now);
             }
-            LogMsg::Sync { from: floor } => {
-                let entries: Vec<(Ver, LogCmd)> = (floor as usize..self.committed.len())
+            LogMsg::Sync { from: req } => {
+                // Below the floor the prefix is gone: ship the snapshot
+                // that summarizes it plus the retained tail — O(tail).
+                let (snapshot, start) = if req < self.floor {
+                    (Some(self.snapshot()), self.floor)
+                } else {
+                    (None, req)
+                };
+                debug_assert!(start >= self.base, "sync start under the applied base");
+                let lo = (start - self.base) as usize;
+                let entries: Vec<(Ver, LogCmd)> = (lo..self.committed.len())
                     .map(|i| (self.ballots[i], self.committed[i]))
                     .collect();
                 self.outbox.push((
                     from,
                     LogMsg::SyncOk {
-                        from: floor,
+                        from: start,
+                        snapshot,
                         entries,
                     },
                 ));
             }
             LogMsg::SyncOk {
-                from: floor,
+                from: start,
+                snapshot,
                 entries,
             } => {
+                self.last_sync = Some((snapshot.is_some(), entries.len() as u64));
+                if let Some(snap) = snapshot {
+                    self.install_snapshot(snap);
+                }
                 for (i, (b, cmd)) in entries.into_iter().enumerate() {
-                    self.learn(floor + i as u64, b, cmd);
+                    self.learn(start + i as u64, b, cmd);
                 }
                 self.apply_contiguous(now);
             }
             // Client-side messages; replicas ignore strays.
             LogMsg::Redirect { .. } | LogMsg::Reply { .. } => {}
         }
+    }
+
+    /// Answers a `Recover` probe: promise the ballot and report everything
+    /// accepted at slot ≥ `req`. Compaction makes this three-cased: above
+    /// the floor the accepted map answers directly; between base and floor
+    /// the applied vectors fill in (committed implies accepted); below
+    /// base nothing survives as entries and the snapshot goes instead.
+    fn on_recover(&mut self, from: ProcessId, ballot: Ver, req: u64) {
+        if ballot < self.promised {
+            return;
+        }
+        self.promised = ballot;
+        let mut snapshot = None;
+        let mut entries: Vec<(u64, Ver, LogCmd)> = Vec::new();
+        if req < self.floor {
+            if req < self.base {
+                snapshot = Some(self.snapshot());
+            } else {
+                for i in (req - self.base) as usize..(self.floor - self.base) as usize {
+                    entries.push((self.base + i as u64, self.ballots[i], self.committed[i]));
+                }
+            }
+            entries.extend(
+                self.accepted
+                    .range(self.floor..)
+                    .map(|(&s, &(b, c))| (s, b, c)),
+            );
+        } else {
+            entries.extend(self.accepted.range(req..).map(|(&s, &(b, c))| (s, b, c)));
+        }
+        self.outbox.push((
+            from,
+            LogMsg::RecoverOk {
+                ballot,
+                snapshot,
+                entries,
+            },
+        ));
     }
 
     fn on_request(&mut self, client: ProcessId, cmd: LogCmd, now: Time) {
@@ -399,20 +630,47 @@ impl ReplicatedLog {
             }
             return;
         }
-        if let Some(&slot) = self.by_cmd.get(&cmd) {
+        if let Some(slot) = self.committed_slot_of(&cmd) {
             // Committed duplicate (client re-sent across a failover the
-            // first reply did not survive): answer from the log.
+            // first reply did not survive): answer from the log above the
+            // floor, or from the client's high-water mark below it.
             self.outbox
                 .push((client, LogMsg::Reply { seq: cmd.seq, slot }));
             return;
         }
-        if self.admitted.contains(&cmd) {
+        let lead = self.lead.as_mut().expect("leader checked above");
+        if !lead.admitted.insert(cmd) {
             return; // queued or in flight; the decide will answer
         }
-        self.admitted.insert(cmd);
-        let lead = self.lead.as_mut().expect("leader checked above");
         lead.queue.push_back(cmd);
-        self.propose_queued(now);
+        if self.batch_max > 1 {
+            // Coalesce everything arriving this tick into one batch: the
+            // hosting node arms a 1-tick flush on our request.
+            self.ask_flush();
+        } else {
+            self.propose_queued(now);
+        }
+    }
+
+    /// The committed slot of `cmd`, if it committed: exact from `by_cmd`
+    /// above the floor, else inferred from the client's high-water mark
+    /// (`seq ≤ mark` ⇔ committed; the mark's slot stands in for the
+    /// pruned exact slot — clients match replies by `seq` alone).
+    fn committed_slot_of(&self, cmd: &LogCmd) -> Option<u64> {
+        if let Some(&slot) = self.by_cmd.get(cmd) {
+            return Some(slot);
+        }
+        match self.client_hwm.get(&cmd.client) {
+            Some(&(seq, slot)) if seq >= cmd.seq => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Asks the hosting node for a flush timer, once per armed window.
+    fn ask_flush(&mut self) {
+        if !self.flush_armed {
+            self.flush_asked = true;
+        }
     }
 
     fn on_accept_ok(&mut self, from: ProcessId, ballot: Ver, slot: u64, now: Time) {
@@ -433,8 +691,42 @@ impl ReplicatedLog {
         }
     }
 
-    /// Commits `slot`: record, broadcast `Decide`, answer the client, and
-    /// let follow-on queued work into the freed in-flight window.
+    /// One `AcceptOkRange` acks every slot in its range; any slot that
+    /// reaches quorum decides, and contiguous decisions ship as one
+    /// `DecideBatch`.
+    fn on_accept_ok_range(
+        &mut self,
+        from: ProcessId,
+        ballot: Ver,
+        first_slot: u64,
+        count: u64,
+        now: Time,
+    ) {
+        let quorum = self.quorum();
+        let Some(lead) = &mut self.lead else { return };
+        if lead.ballot != ballot {
+            return;
+        }
+        let mut decided: Vec<(u64, LogCmd)> = Vec::new();
+        for slot in first_slot..first_slot + count {
+            if let Some(acc) = lead.in_flight.get_mut(&slot) {
+                acc.oks.insert(from);
+                if acc.oks.len() + 1 >= quorum {
+                    decided.push((slot, acc.cmd));
+                }
+            }
+        }
+        for &(slot, _) in &decided {
+            lead.in_flight.remove(&slot);
+        }
+        if !decided.is_empty() {
+            self.decide_slots(decided, ballot, now);
+        }
+    }
+
+    /// Commits `slot` on the legacy per-slot path: record, broadcast
+    /// `Decide`, answer the client, and let follow-on queued work into
+    /// the freed in-flight window.
     fn decide(&mut self, slot: u64, ballot: Ver, cmd: LogCmd, now: Time) {
         self.learn(slot, ballot, cmd);
         let peers: Vec<ProcessId> = self
@@ -454,28 +746,135 @@ impl ReplicatedLog {
         self.propose_queued(now);
     }
 
+    /// Commits a set of slots on the batched path: learn them all, ship
+    /// one `DecideBatch` per contiguous run per peer, answer the clients,
+    /// and refill the pipeline straight from the queue.
+    fn decide_slots(&mut self, decided: Vec<(u64, LogCmd)>, ballot: Ver, now: Time) {
+        for &(slot, cmd) in &decided {
+            self.learn(slot, ballot, cmd);
+        }
+        let mut runs: Vec<(u64, Vec<LogCmd>)> = Vec::new();
+        for &(slot, cmd) in &decided {
+            match runs.last_mut() {
+                Some((first, cmds)) if *first + cmds.len() as u64 == slot => cmds.push(cmd),
+                _ => runs.push((slot, vec![cmd])),
+            }
+        }
+        let peers: Vec<ProcessId> = self
+            .view
+            .iter()
+            .filter(|&&p| p != self.me)
+            .copied()
+            .collect();
+        for (first_slot, cmds) in &runs {
+            for &p in &peers {
+                self.outbox.push((
+                    p,
+                    LogMsg::DecideBatch {
+                        ballot,
+                        first_slot: *first_slot,
+                        cmds: cmds.clone(),
+                    },
+                ));
+            }
+        }
+        for &(slot, cmd) in &decided {
+            if !cmd.is_noop() {
+                self.outbox
+                    .push((cmd.client, LogMsg::Reply { seq: cmd.seq, slot }));
+            }
+        }
+        self.apply_contiguous(now);
+        self.propose_queued_batched(now);
+    }
+
     /// Records a decided entry (idempotent; decides imply accepts so the
     /// entry also feeds later recoveries).
     fn learn(&mut self, slot: u64, ballot: Ver, cmd: LogCmd) {
-        if (slot as usize) < self.committed.len() {
+        if slot < self.logical_len() {
             return; // already applied
+        }
+        if let Some(lead) = &mut self.lead {
+            lead.admitted.remove(&cmd);
         }
         self.accepted.insert(slot, (ballot, cmd));
         self.parked.insert(slot, (ballot, cmd));
     }
 
-    /// Applies every parked decision contiguous with the applied prefix.
+    /// Applies every parked decision contiguous with the applied prefix,
+    /// then compacts if the hot state outgrew its bound.
     fn apply_contiguous(&mut self, now: Time) {
-        while let Some(&(ballot, cmd)) = self.parked.get(&(self.committed.len() as u64)) {
-            let slot = self.committed.len() as u64;
+        while let Some(&(ballot, cmd)) = self.parked.get(&self.logical_len()) {
+            let slot = self.logical_len();
             self.parked.remove(&slot);
             self.committed.push(cmd);
             self.ballots.push(ballot);
             self.applied_at.push(now);
             if !cmd.is_noop() {
                 self.by_cmd.insert(cmd, slot);
+                let mark = self.client_hwm.entry(cmd.client).or_insert((cmd.seq, slot));
+                // ≥, not >: a snapshot may have pre-adopted this very mark.
+                if cmd.seq >= mark.0 {
+                    *mark = (cmd.seq, slot);
+                }
             }
         }
+        self.maybe_compact();
+    }
+
+    /// Advances the compaction floor once the applied suffix above it
+    /// exceeds twice the keep budget, pruning `accepted`/`parked`/`by_cmd`
+    /// below the new floor. The 2× hysteresis makes the amortized cost
+    /// O(1) per applied slot.
+    fn maybe_compact(&mut self) {
+        if self.compact_keep == usize::MAX {
+            return;
+        }
+        let len = self.logical_len();
+        if len - self.floor <= 2 * self.compact_keep as u64 {
+            return;
+        }
+        let new_floor = len - self.compact_keep as u64;
+        self.accepted = self.accepted.split_off(&new_floor);
+        self.parked = self.parked.split_off(&new_floor);
+        self.by_cmd.retain(|_, s| *s >= new_floor);
+        self.floor = new_floor;
+    }
+
+    /// The compacted summary of everything below the floor: the floor plus
+    /// every client's dedup high-water mark.
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            floor: self.floor,
+            clients: self
+                .client_hwm
+                .iter()
+                .map(|(&c, &(seq, slot))| (c, seq, slot))
+                .collect(),
+        }
+    }
+
+    /// Installs a received snapshot: adopt any newer client marks, and if
+    /// the snapshot's floor is ahead of our applied prefix, restart the
+    /// applied vectors at it (the pruned prefix is summarized, not lost —
+    /// that is the floor invariant).
+    fn install_snapshot(&mut self, snap: Snapshot) {
+        for (client, seq, slot) in snap.clients {
+            let mark = self.client_hwm.entry(client).or_insert((seq, slot));
+            if seq >= mark.0 {
+                *mark = (seq, slot);
+            }
+        }
+        if snap.floor > self.logical_len() {
+            self.committed.clear();
+            self.ballots.clear();
+            self.applied_at.clear();
+            self.base = snap.floor;
+            self.accepted = self.accepted.split_off(&snap.floor);
+            self.parked = self.parked.split_off(&snap.floor);
+            self.by_cmd.retain(|_, s| *s >= snap.floor);
+        }
+        self.floor = self.floor.max(snap.floor);
     }
 
     /// The view majority, acceptor quorum of every ballot.
@@ -485,9 +884,10 @@ impl ReplicatedLog {
 
     /// Completes the recovery round once every awaited response is in:
     /// adopt the highest-ballot entry per slot, fill gaps with no-ops,
-    /// re-propose everything above the committed prefix, then serve the
-    /// queue.
+    /// re-propose everything above the committed prefix, re-send each
+    /// client's high-water reply, then serve the queue.
     fn finish_recovery_if_ready(&mut self, now: Time) {
+        let floor_slot = self.logical_len();
         let Some(lead) = &mut self.lead else { return };
         let Some(rec) = &mut lead.recovery else {
             return;
@@ -496,11 +896,13 @@ impl ReplicatedLog {
             return;
         }
         let ballot = lead.ballot;
-        let floor = self.committed.len() as u64;
         let mut chosen = std::mem::take(&mut rec.found);
         lead.recovery = None;
+        // Decides kept arriving from the old leader while we probed:
+        // never propose below (or into) the applied prefix.
+        lead.next_slot = lead.next_slot.max(floor_slot);
         // Our own accepted set is a recovery response like any other.
-        for (&slot, &(b, cmd)) in self.accepted.range(floor..) {
+        for (&slot, &(b, cmd)) in self.accepted.range(floor_slot..) {
             match chosen.get(&slot) {
                 Some(&(have, _)) if have >= b => {}
                 _ => {
@@ -508,21 +910,61 @@ impl ReplicatedLog {
                 }
             }
         }
-        if let Some((&top, _)) = chosen.iter().next_back() {
-            let slots: Vec<u64> = (floor..=top).collect();
-            for slot in slots {
-                let cmd = chosen.get(&slot).map(|&(_, c)| c).unwrap_or(LogCmd::NOOP);
-                self.admitted.insert(cmd);
-                self.propose(slot, ballot, cmd, now);
-            }
+        let top = chosen
+            .iter()
+            .next_back()
+            .map(|(&s, _)| s)
+            .filter(|&s| s >= floor_slot);
+        if let Some(top) = top {
+            let plan: Vec<LogCmd> = (floor_slot..=top)
+                .map(|s| chosen.get(&s).map(|&(_, c)| c).unwrap_or(LogCmd::NOOP))
+                .collect();
+            // A recovered command may *also* sit in our queue (its client
+            // retried to us while we probed). Re-proposing it once under
+            // its recovered slot is the exactly-once path; drop the
+            // queued twin.
+            let rec_set: BTreeSet<LogCmd> = plan.iter().copied().filter(|c| !c.is_noop()).collect();
             if let Some(lead) = &mut self.lead {
-                lead.next_slot = top + 1;
+                lead.queue.retain(|c| !rec_set.contains(c));
+                lead.admitted.extend(rec_set.iter().copied());
+                lead.next_slot = lead.next_slot.max(top + 1);
+            }
+            if self.batch_max > 1 {
+                let mut i = 0usize;
+                while i < plan.len() {
+                    let take = (plan.len() - i).min(self.batch_max);
+                    let first = floor_slot + i as u64;
+                    let cmds: Vec<LogCmd> = plan[i..i + take].to_vec();
+                    self.propose_batch(first, ballot, cmds, now);
+                    i += take;
+                }
+            } else {
+                for (i, &cmd) in plan.iter().enumerate() {
+                    self.propose(floor_slot + i as u64, ballot, cmd, now);
+                }
             }
         }
-        self.propose_queued(now);
+        // Failover re-reply: a command decided under the dead leader may
+        // have lost its reply with the crash. One reply per known client
+        // (its high-water mark) unsticks any such client immediately;
+        // completed clients ignore it by seq.
+        let replies: Vec<(ProcessId, u64, u64)> = self
+            .client_hwm
+            .iter()
+            .map(|(&c, &(seq, slot))| (c, seq, slot))
+            .collect();
+        for (client, seq, slot) in replies {
+            self.outbox.push((client, LogMsg::Reply { seq, slot }));
+        }
+        if self.batch_max > 1 {
+            self.propose_queued_batched(now);
+        } else {
+            self.propose_queued(now);
+        }
     }
 
-    /// Moves queued client commands into the in-flight window.
+    /// Moves queued client commands into the in-flight window, one slot
+    /// per `Accept` (the legacy path).
     fn propose_queued(&mut self, now: Time) {
         loop {
             let Some(lead) = &mut self.lead else { return };
@@ -536,6 +978,27 @@ impl ReplicatedLog {
             lead.next_slot += 1;
             let ballot = lead.ballot;
             self.propose(slot, ballot, cmd, now);
+        }
+    }
+
+    /// Moves queued client commands into the in-flight window in batches
+    /// of up to `batch_max`, as window room allows.
+    fn propose_queued_batched(&mut self, now: Time) {
+        loop {
+            let Some(lead) = &mut self.lead else { return };
+            if lead.recovery.is_some() || lead.in_flight.len() >= self.max_inflight {
+                return;
+            }
+            if lead.queue.is_empty() {
+                return;
+            }
+            let room = self.max_inflight - lead.in_flight.len();
+            let take = room.min(self.batch_max).min(lead.queue.len());
+            let first = lead.next_slot;
+            lead.next_slot += take as u64;
+            let ballot = lead.ballot;
+            let cmds: Vec<LogCmd> = lead.queue.drain(..take).collect();
+            self.propose_batch(first, ballot, cmds, now);
         }
     }
 
@@ -567,6 +1030,57 @@ impl ReplicatedLog {
             self.decide(slot, ballot, cmd, now);
         }
     }
+
+    /// Proposes `cmds` into the contiguous range starting at `first_slot`:
+    /// self-accept each, one `AcceptBatch` per peer, and — in the
+    /// single-member view — decide the whole range on the spot.
+    fn propose_batch(&mut self, first_slot: u64, ballot: Ver, cmds: Vec<LogCmd>, now: Time) {
+        self.promised = self.promised.max(ballot);
+        for (i, &cmd) in cmds.iter().enumerate() {
+            self.accepted.insert(first_slot + i as u64, (ballot, cmd));
+        }
+        {
+            let Some(lead) = &mut self.lead else { return };
+            for (i, &cmd) in cmds.iter().enumerate() {
+                lead.in_flight.insert(
+                    first_slot + i as u64,
+                    Accepting {
+                        cmd,
+                        oks: BTreeSet::new(),
+                    },
+                );
+            }
+        }
+        let peers: Vec<ProcessId> = self
+            .view
+            .iter()
+            .filter(|&&p| p != self.me)
+            .copied()
+            .collect();
+        for p in peers {
+            self.outbox.push((
+                p,
+                LogMsg::AcceptBatch {
+                    ballot,
+                    first_slot,
+                    cmds: cmds.clone(),
+                },
+            ));
+        }
+        if self.quorum() == 1 {
+            let decided: Vec<(u64, LogCmd)> = cmds
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (first_slot + i as u64, c))
+                .collect();
+            if let Some(lead) = &mut self.lead {
+                for &(slot, _) in &decided {
+                    lead.in_flight.remove(&slot);
+                }
+            }
+            self.decide_slots(decided, ballot, now);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -595,6 +1109,18 @@ mod tests {
         }
     }
 
+    fn recover_ok_empty(log: &mut ReplicatedLog, from: u32, ballot: Ver, at: Time) {
+        log.on_message(
+            ProcessId(from),
+            LogMsg::RecoverOk {
+                ballot,
+                snapshot: None,
+                entries: vec![],
+            },
+            at,
+        );
+    }
+
     #[test]
     fn leader_recovers_then_serves() {
         let mut log = ReplicatedLog::new(8);
@@ -608,14 +1134,7 @@ mod tests {
         log.on_message(ProcessId(9), LogMsg::Request { cmd: cmd(9, 0) }, 1);
         assert!(log.take_outbox().is_empty());
         for p in [1, 2] {
-            log.on_message(
-                ProcessId(p),
-                LogMsg::RecoverOk {
-                    ballot: 0,
-                    entries: vec![],
-                },
-                2,
-            );
+            recover_ok_empty(&mut log, p, 0, 2);
         }
         let out = log.take_outbox();
         // Accept for slot 0 to both peers.
@@ -706,6 +1225,7 @@ mod tests {
             ProcessId(2),
             LogMsg::RecoverOk {
                 ballot: 1,
+                snapshot: None,
                 entries: vec![(1, 1, cmd(8, 4))],
             },
             11,
@@ -735,14 +1255,7 @@ mod tests {
         installed(&mut log, 0, 0);
         log.take_outbox();
         for p in [1, 2] {
-            log.on_message(
-                ProcessId(p),
-                LogMsg::RecoverOk {
-                    ballot: 0,
-                    entries: vec![],
-                },
-                1,
-            );
+            recover_ok_empty(&mut log, p, 0, 1);
         }
         log.take_outbox();
         log.on_message(ProcessId(9), LogMsg::Request { cmd: cmd(9, 0) }, 2);
@@ -804,5 +1317,281 @@ mod tests {
         );
         assert_eq!(log.committed(), &[cmd(9, 0), cmd(9, 1)]);
         assert_eq!(log.applied_at(), &[6, 6]);
+    }
+
+    // ------------------------------------------------------------------
+    // Batched hot path
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn requests_coalesce_into_one_accept_batch() {
+        let mut log = ReplicatedLog::with_tuning(8, 4, usize::MAX);
+        log.bind(ProcessId(0));
+        installed(&mut log, 0, 0);
+        log.take_outbox();
+        for p in [1, 2] {
+            recover_ok_empty(&mut log, p, 0, 1);
+        }
+        log.take_outbox();
+        // Three requests within one tick admit silently and ask one flush.
+        for s in 0..3 {
+            log.on_message(ProcessId(9), LogMsg::Request { cmd: cmd(9, s) }, 5);
+        }
+        assert!(log.take_outbox().is_empty());
+        assert!(log.take_flush_request());
+        assert!(!log.take_flush_request(), "one armed flush at a time");
+        log.on_flush(6);
+        let out = log.take_outbox();
+        // One AcceptBatch per peer carrying all three commands.
+        assert_eq!(out.len(), 2);
+        assert!(matches!(
+            &out[0].1,
+            LogMsg::AcceptBatch { ballot: 0, first_slot: 0, cmds } if cmds.len() == 3
+        ));
+        // One range ack (2 of 3 with self) decides the whole range.
+        log.on_message(
+            ProcessId(1),
+            LogMsg::AcceptOkRange {
+                ballot: 0,
+                first_slot: 0,
+                count: 3,
+            },
+            7,
+        );
+        let out = log.take_outbox();
+        let batches = out
+            .iter()
+            .filter(|(_, m)| matches!(m, LogMsg::DecideBatch { cmds, .. } if cmds.len() == 3))
+            .count();
+        assert_eq!(batches, 2, "one DecideBatch per peer");
+        let replies = out
+            .iter()
+            .filter(|(_, m)| matches!(m, LogMsg::Reply { .. }))
+            .count();
+        assert_eq!(replies, 3);
+        assert_eq!(log.committed(), &[cmd(9, 0), cmd(9, 1), cmd(9, 2)]);
+    }
+
+    #[test]
+    fn decide_batches_apply_like_single_decides() {
+        let mut log = ReplicatedLog::new(8);
+        log.bind(ProcessId(2));
+        installed(&mut log, 0, 0);
+        log.take_outbox();
+        log.on_message(
+            ProcessId(0),
+            LogMsg::DecideBatch {
+                ballot: 0,
+                first_slot: 1,
+                cmds: vec![cmd(9, 1), cmd(9, 2)],
+            },
+            5,
+        );
+        assert!(log.committed().is_empty(), "slot 0 still missing");
+        log.on_message(
+            ProcessId(0),
+            LogMsg::Decide {
+                ballot: 0,
+                slot: 0,
+                cmd: cmd(9, 0),
+            },
+            6,
+        );
+        assert_eq!(log.committed(), &[cmd(9, 0), cmd(9, 1), cmd(9, 2)]);
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction, snapshots, high-water dedup
+    // ------------------------------------------------------------------
+
+    /// A solitary leader (quorum 1) that has committed `ops` commands
+    /// from client 9, compacting down to `keep`.
+    fn solitary_compacted(ops: u64, keep: usize) -> ReplicatedLog {
+        let mut log = ReplicatedLog::with_tuning(8, 1, keep);
+        log.bind(ProcessId(0));
+        log.on_member_event(
+            MemberEvent::ViewInstalled {
+                ver: 0,
+                members: vec![ProcessId(0)],
+                mgr: ProcessId(0),
+            },
+            0,
+        );
+        log.take_outbox();
+        for s in 0..ops {
+            log.on_message(ProcessId(9), LogMsg::Request { cmd: cmd(9, s) }, s);
+            log.take_outbox();
+        }
+        log
+    }
+
+    #[test]
+    fn compaction_prunes_hot_state_and_dedups_from_the_mark() {
+        let log = solitary_compacted(20, 4);
+        assert_eq!(log.committed_ops(), 20);
+        // Floor advances by `keep` each time the suffix exceeds 2·keep:
+        // trigger at len 9 → 5, 14 → 10, 19 → 15.
+        assert_eq!(log.floor(), 15);
+        let (acc, parked, by_cmd, hwm) = log.hot_sizes();
+        assert!(acc <= 2 * 4 + 1, "accepted pruned below the floor");
+        assert_eq!(parked, 0);
+        assert_eq!(by_cmd, 5, "only slots ≥ floor keep exact entries");
+        assert_eq!(hwm, 1, "one mark per client");
+        // A duplicate far below the floor still answers — from the mark
+        // (slot is best-effort; clients match replies by seq).
+        let mut log = log;
+        log.on_message(ProcessId(9), LogMsg::Request { cmd: cmd(9, 3) }, 30);
+        assert!(matches!(
+            log.take_outbox().as_slice(),
+            [(ProcessId(9), LogMsg::Reply { seq: 3, slot: 19 })]
+        ));
+        // …while a fresh command is admitted normally.
+        log.on_message(ProcessId(9), LogMsg::Request { cmd: cmd(9, 20) }, 31);
+        log.take_outbox();
+        assert_eq!(log.committed_ops(), 21);
+    }
+
+    #[test]
+    fn sync_below_the_floor_ships_a_snapshot_plus_tail() {
+        let mut log = solitary_compacted(20, 4);
+        log.on_message(ProcessId(5), LogMsg::Sync { from: 0 }, 40);
+        let out = log.take_outbox();
+        assert_eq!(out.len(), 1);
+        let LogMsg::SyncOk {
+            from,
+            snapshot: Some(snap),
+            entries,
+        } = &out[0].1
+        else {
+            panic!("expected a snapshot-bearing SyncOk, got {:?}", out[0].1);
+        };
+        assert_eq!(*from, 15);
+        assert_eq!(snap.floor, 15);
+        assert_eq!(snap.clients, vec![(ProcessId(9), 19, 19)]);
+        assert_eq!(entries.len(), 5, "O(tail), not O(log)");
+        // A fresh replica boots from it: vectors restart at the floor.
+        let mut joiner = ReplicatedLog::new(8);
+        joiner.bind(ProcessId(5));
+        joiner.on_member_event(
+            MemberEvent::ViewInstalled {
+                ver: 1,
+                members: vec![ProcessId(0), ProcessId(5)],
+                mgr: ProcessId(0),
+            },
+            41,
+        );
+        joiner.take_outbox();
+        joiner.on_message(ProcessId(0), out[0].1.clone(), 42);
+        assert_eq!(joiner.base(), 15);
+        assert_eq!(joiner.logical_len(), 20);
+        assert_eq!(joiner.committed().len(), 5);
+        assert_eq!(joiner.last_sync(), Some((true, 5)));
+        // The adopted marks dedup below its base.
+        assert_eq!(joiner.committed_slot_of(&cmd(9, 2)), Some(19));
+        assert_eq!(joiner.committed_slot_of(&cmd(9, 20)), None);
+    }
+
+    #[test]
+    fn recover_between_base_and_floor_reports_committed_entries() {
+        let mut log = solitary_compacted(20, 4);
+        // A new leader probing from slot 10 (< floor 15, ≥ base 0) gets
+        // the committed range [10, 15) plus everything accepted above.
+        log.on_message(
+            ProcessId(1),
+            LogMsg::Recover {
+                ballot: 7,
+                from: 10,
+            },
+            50,
+        );
+        let out = log.take_outbox();
+        let LogMsg::RecoverOk {
+            snapshot: None,
+            entries,
+            ..
+        } = &out[0].1
+        else {
+            panic!("expected an entry-only RecoverOk, got {:?}", out[0].1);
+        };
+        assert_eq!(entries.first().map(|e| e.0), Some(10));
+        assert_eq!(entries.len(), 10, "[10, 20) with nothing missing");
+    }
+
+    // ------------------------------------------------------------------
+    // Failover fixes
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn a_new_leader_re_replies_for_committed_commands() {
+        let mut log = ReplicatedLog::new(8);
+        log.bind(ProcessId(1));
+        installed(&mut log, 0, 0);
+        log.take_outbox();
+        // Slot 0 committed under the old leader; its Reply died with it.
+        log.on_message(
+            ProcessId(0),
+            LogMsg::Decide {
+                ballot: 0,
+                slot: 0,
+                cmd: cmd(9, 0),
+            },
+            5,
+        );
+        log.take_outbox();
+        log.on_member_event(
+            MemberEvent::ViewInstalled {
+                ver: 1,
+                members: vec![ProcessId(1), ProcessId(2)],
+                mgr: ProcessId(1),
+            },
+            10,
+        );
+        log.take_outbox();
+        recover_ok_empty(&mut log, 2, 1, 11);
+        let out = log.take_outbox();
+        assert!(
+            out.iter().any(
+                |(to, m)| *to == ProcessId(9) && matches!(m, LogMsg::Reply { seq: 0, slot: 0 })
+            ),
+            "recovery completion re-replies the client's high-water mark"
+        );
+    }
+
+    #[test]
+    fn recovered_commands_are_not_proposed_twice() {
+        let mut log = ReplicatedLog::new(8);
+        log.bind(ProcessId(1));
+        let members = vec![ProcessId(1), ProcessId(2)];
+        log.on_member_event(
+            MemberEvent::ViewInstalled {
+                ver: 1,
+                members,
+                mgr: ProcessId(1),
+            },
+            0,
+        );
+        log.take_outbox();
+        // The client retries to the new leader while it is still probing…
+        log.on_message(ProcessId(9), LogMsg::Request { cmd: cmd(9, 0) }, 1);
+        assert!(log.take_outbox().is_empty(), "queued behind recovery");
+        // …and the same command comes back as a recovered entry.
+        log.on_message(
+            ProcessId(2),
+            LogMsg::RecoverOk {
+                ballot: 1,
+                snapshot: None,
+                entries: vec![(0, 0, cmd(9, 0))],
+            },
+            2,
+        );
+        let out = log.take_outbox();
+        let accepts: Vec<u64> = out
+            .iter()
+            .filter_map(|(_, m)| match m {
+                LogMsg::Accept { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(accepts, vec![0], "the queued twin is dropped");
     }
 }

@@ -308,9 +308,15 @@ fn sparse_topology_replays_byte_identical() {
 /// double-runs this scenario alongside the membership-only ones.
 #[test]
 fn log_workload_replays_byte_identical() {
-    use gmp::log::log_cluster;
+    use gmp::log::{LogClusterBuilder, LogConfig};
     let build = || {
-        let mut sim = log_cluster(5, 3, 2024);
+        // Pinned to the unbatched trim: this scenario documents the
+        // legacy per-slot wire path (PR 9); the batched path has its own
+        // scenario below.
+        let mut sim = LogClusterBuilder::new(5, 3)
+            .seed(2024)
+            .log_config(LogConfig::default().unbatched())
+            .build();
         sim.crash_at(ProcessId(0), 2_000);
         sim
     };
@@ -334,6 +340,53 @@ fn log_workload_replays_byte_identical() {
             fingerprint(&sharded.trace().events),
             reference,
             "shards={shards}: sharded log-workload run diverged from sequential"
+        );
+    }
+}
+
+/// Batched companion to the scenario above: the same crash schedule with
+/// leader batching (`AcceptBatch` + the 1-tick flush timer), client
+/// pipelining and a small compaction budget all active — the three
+/// mechanisms the unbatched trim never exercises. Replay and the sharded
+/// engine must reproduce it event for event; the CI determinism job
+/// double-runs this scenario too.
+#[test]
+fn batched_log_workload_replays_byte_identical() {
+    use gmp::log::{LogClusterBuilder, LogConfig};
+    let build = || {
+        let mut sim = LogClusterBuilder::new(5, 3)
+            .seed(2024)
+            .log_config(LogConfig::default().batch(8).window(4).compact_keep(256))
+            .build();
+        sim.crash_at(ProcessId(0), 2_000);
+        sim
+    };
+    let mut first = build();
+    first.run_until(15_000);
+    let reference = fingerprint(&first.trace().events);
+    assert!(!reference.is_empty(), "run produced no events");
+    // The flush timer and the compactor must both have been in play,
+    // or this scenario pins less than it claims.
+    assert!(
+        first.node(ProcessId(1)).log().floor() > 0,
+        "the run never compacted"
+    );
+
+    let mut again = build();
+    again.run_until(15_000);
+    assert_eq!(
+        fingerprint(&again.trace().events),
+        reference,
+        "batched log-workload replay diverged"
+    );
+
+    for shards in [2usize, 4] {
+        let mut sharded = build();
+        sharded.run_until_sharded(15_000, shards);
+        assert_eq!(
+            fingerprint(&sharded.trace().events),
+            reference,
+            "shards={shards}: sharded batched log run diverged from sequential"
         );
     }
 }

@@ -142,6 +142,43 @@ fn churn_with_leader_crash_and_joiner_stays_safe() {
 }
 
 #[test]
+fn new_leader_re_replies_for_recovered_slots() {
+    // The lost-reply window: the leader commits a command, broadcasts
+    // `Decide`, and dies before the client's `Reply` leaves — with the
+    // client's retry timer effectively off, only the new leader's
+    // re-reply at recovery completion can unstick it. Regression test:
+    // the successor must re-acknowledge every recovered client mark it
+    // holds, not just slots it re-proposes.
+    let mut sim = LogClusterBuilder::new(5, 1)
+        .seed(13)
+        .log_config(LogConfig::default().unbatched().retry_after(1_000_000))
+        .build();
+    // Crash immediately after the first Decide send: one follower learns
+    // the commit, the client's Reply is never sent.
+    sim.crash_after_sends_at(ProcessId(0), 0, Some("log-decide"), 1);
+    sim.run_until(25_000);
+
+    let s = sim.node(ProcessId(1));
+    assert!(
+        !s.member().view().contains(ProcessId(0)),
+        "dead leader never excluded"
+    );
+    assert!(s.log().committed_ops() >= 1, "the command never committed");
+    let logs = survivor_logs(&sim);
+    assert!(
+        prefix_identical(logs.iter().map(|l| l.as_slice())),
+        "survivor logs diverged"
+    );
+    // The client cannot retry (huge retry_after); its ack must have come
+    // from the successor's re-reply.
+    let c = sim.node(ProcessId(5)).client();
+    assert!(
+        c.acked() >= 1,
+        "the lost reply was never re-sent by the new leader"
+    );
+}
+
+#[test]
 fn sharded_engine_reproduces_the_log_workload() {
     // The log workload crosses the sharded engine too: same committed
     // logs, same client-visible latencies, at every shard count.
